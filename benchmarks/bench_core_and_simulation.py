@@ -1,0 +1,78 @@
+"""Micro- and macro-benchmarks of the core machinery and the simulator.
+
+These complement the per-figure benchmarks: they measure the cost of the
+label-set primitives the protocol executes on every routing event (mediant
+splits, Algorithm 1) and the wall-clock cost of a complete SRP trial, which is
+the quantity that bounds how large an evaluation sweep a laptop can run.
+"""
+
+from repro.core.fractions import ProperFraction
+from repro.core.neworder import new_order
+from repro.core.ordering import UNASSIGNED, Ordering
+from repro.protocols import protocol_factory
+from repro.sim.network import run_trial
+from repro.workloads.scenario import scaled_scenario
+
+
+def bench_mediant_split_chain(benchmark):
+    """Cost of 40 consecutive mediant splits (the paper's 32-bit budget is 45)."""
+
+    def split_chain():
+        low = ProperFraction.zero()
+        high = ProperFraction.one()
+        for _ in range(40):
+            high = low.mediant_with(high, limit=None)
+        return high
+
+    result = benchmark(split_chain)
+    assert result.denominator == 41
+
+
+def bench_algorithm1_new_order(benchmark):
+    """Cost of one Algorithm 1 invocation with a populated successor set."""
+    current = Ordering(3, ProperFraction(5, 9))
+    cached = Ordering(3, ProperFraction(7, 9))
+    advertised = Ordering(3, ProperFraction(2, 9))
+    successors = {i: Ordering(3, ProperFraction(1, 10 + i)) for i in range(8)}
+
+    result = benchmark(new_order, current, cached, advertised, successors)
+    assert result.is_finite
+
+
+def bench_algorithm1_unassigned_node(benchmark):
+    """Algorithm 1 for a node joining a DAG for the first time."""
+    advertised = Ordering.destination(1)
+    result = benchmark(new_order, UNASSIGNED, UNASSIGNED, advertised, {})
+    assert result.ordering == Ordering(1, ProperFraction(1, 2))
+
+
+def bench_srp_trial(benchmark):
+    """A complete small SRP trial (mobility, MAC, discovery, forwarding)."""
+    scenario = scaled_scenario(
+        node_count=16,
+        flow_count=3,
+        duration=15.0,
+        terrain_width=900.0,
+        terrain_height=300.0,
+        seed=21,
+    )
+    summary = benchmark.pedantic(
+        run_trial, args=(scenario, protocol_factory("SRP")), rounds=1, iterations=1
+    )
+    assert summary.data_sent > 0
+
+
+def bench_aodv_trial(benchmark):
+    """The same trial under AODV, for a like-for-like simulator cost comparison."""
+    scenario = scaled_scenario(
+        node_count=16,
+        flow_count=3,
+        duration=15.0,
+        terrain_width=900.0,
+        terrain_height=300.0,
+        seed=21,
+    )
+    summary = benchmark.pedantic(
+        run_trial, args=(scenario, protocol_factory("AODV")), rounds=1, iterations=1
+    )
+    assert summary.data_sent > 0

@@ -1,0 +1,28 @@
+"""Fig. 3: average MAC-layer drops per node vs. pause time.
+
+The paper's observation: DSR suffers by far the highest MAC drop rate under
+the high-load scenario, and drop counts fall as mobility decreases (larger
+pause times).
+"""
+
+from repro.experiments import figure, figure_text
+
+
+def bench_fig3_mac_drops(benchmark, evaluation_results):
+    series = benchmark(figure, "fig3", evaluation_results)
+
+    print()
+    print(figure_text("fig3", evaluation_results))
+    print("Paper: DSR has the highest MAC drop rate (up to ~350/node); all "
+          "protocols drop less as pause time grows.")
+
+    most_mobile = series.x_values[0]
+    least_mobile = series.x_values[-1]
+    for protocol in series.by_protocol:
+        values = series.protocol_values(protocol)
+        assert all(value >= 0.0 for value in values)
+    # Drops under constant mobility are at least as high as when static.
+    for protocol in series.by_protocol:
+        first = series.by_protocol[protocol][0].mean
+        last = series.by_protocol[protocol][-1].mean
+        assert first >= last - 1e-9, (protocol, most_mobile, least_mobile)

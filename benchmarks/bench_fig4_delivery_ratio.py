@@ -1,0 +1,32 @@
+"""Fig. 4: delivery ratio vs. pause time.
+
+The paper's observation: SRP has the highest delivery ratio at almost all
+pause times (~0.83 on average), AODV/OLSR sit near 0.73, LDR near 0.77 and
+DSR collapses under mobility at this load.
+"""
+
+from repro.experiments import figure, figure_text
+
+
+def bench_fig4_delivery_ratio(benchmark, evaluation_results):
+    series = benchmark(figure, "fig4", evaluation_results)
+
+    print()
+    print(figure_text("fig4", evaluation_results))
+    print("Paper: SRP highest (~0.83 avg); LDR ~0.77; AODV/OLSR ~0.71-0.74; "
+          "DSR lowest (~0.50) and falling sharply with mobility.")
+
+    for protocol, intervals in series.by_protocol.items():
+        for interval in intervals:
+            assert 0.0 <= interval.mean <= 1.0, protocol
+    # Delivery does not get worse as the network becomes static.
+    for protocol in series.by_protocol:
+        first = series.by_protocol[protocol][0].mean
+        last = series.by_protocol[protocol][-1].mean
+        assert last >= first - 0.05, protocol
+    # DSR is never the best deliverer under constant mobility.
+    mobile_ratios = {
+        protocol: intervals[0].mean
+        for protocol, intervals in series.by_protocol.items()
+    }
+    assert mobile_ratios["DSR"] <= max(mobile_ratios.values())

@@ -1,0 +1,28 @@
+"""Fig. 5: network load (control packets per delivered data packet) vs. pause time.
+
+The paper's observation (semi-log plot): SRP's load is roughly 5x lower than
+LDR/AODV/OLSR; overhead shrinks as the network becomes static for the
+on-demand protocols while OLSR's stays constant.
+"""
+
+from repro.experiments import figure, figure_text
+
+
+def bench_fig5_network_load(benchmark, evaluation_results):
+    series = benchmark(figure, "fig5", evaluation_results)
+
+    print()
+    print(figure_text("fig5", evaluation_results))
+    print("Paper: SRP ~0.2x the load of LDR/AODV/OLSR; OLSR overhead is "
+          "constant with pause time, on-demand overhead falls.")
+
+    # OLSR (proactive) pays more overhead than SRP at every pause time.
+    olsr = series.protocol_values("OLSR")
+    srp = series.protocol_values("SRP")
+    assert all(o > s for o, s in zip(olsr, srp))
+    # On-demand overhead decreases as mobility stops; OLSR's stays flat-ish.
+    for protocol in ("SRP", "AODV", "LDR"):
+        values = series.protocol_values(protocol)
+        assert values[-1] <= values[0] + 1e-9, protocol
+    olsr_change = abs(olsr[-1] - olsr[0]) / max(olsr[0], 1e-9)
+    assert olsr_change < 0.5

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure benchmark derives its rows from one shared protocol x
+pause-time sweep, run once per benchmark session at a laptop-friendly scale
+(the structure of the paper's evaluation — five protocols, several pause
+times, shared per-trial scenarios — at reduced node count and duration).  The
+full paper-scale sweep is available through
+``examples/paper_evaluation.py --scale paper``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EvaluationScale, run_evaluation
+from repro.workloads.scenario import scaled_scenario
+
+#: The scale used by the benchmark harness; chosen so the whole suite runs in
+#: a few minutes while keeping every protocol and pause-time mechanism active.
+BENCH_SCALE = EvaluationScale(
+    "bench",
+    scaled_scenario(
+        node_count=24,
+        flow_count=6,
+        duration=40.0,
+        terrain_width=1100.0,
+        terrain_height=350.0,
+        seed=11,
+    ),
+    pause_times=(0.0, 20.0, 40.0),
+    trials=1,
+)
+
+
+@pytest.fixture(scope="session")
+def evaluation_results():
+    """The shared sweep behind Table I and Figures 3–7."""
+    return run_evaluation(BENCH_SCALE)

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation: Table I and Figures 3–7.
+
+This is the driver behind deliverable (d): for every table and figure in the
+paper's Section V it runs the protocol x pause-time x trial sweep, aggregates
+the metrics with 95% confidence intervals and prints the rows / series the
+paper reports.
+
+Scales
+------
+* ``--scale smoke``      a seconds-long sanity run (default for CI)
+* ``--scale benchmark``  the laptop-sized sweep used by ``pytest benchmarks/``
+* ``--scale paper``      the full 100-node, 8-pause-time, 10-trial setup of
+                         Section V (hours of CPU time in pure Python)
+
+Examples
+--------
+    python examples/paper_evaluation.py --scale smoke
+    python examples/paper_evaluation.py --scale benchmark --experiment fig7
+    python examples/paper_evaluation.py --scale paper --trials 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    EXPERIMENTS,
+    EvaluationScale,
+    figure_text,
+    run_evaluation,
+    table1_text,
+)
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "benchmark", "paper"),
+        default="smoke",
+        help="how large a sweep to run (default: smoke)",
+    )
+    parser.add_argument(
+        "--experiment",
+        choices=("all",) + tuple(EXPERIMENTS),
+        default="all",
+        help="regenerate one table/figure only (default: all)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="override the number of trials per data point",
+    )
+    return parser.parse_args(argv)
+
+
+def resolve_scale(name: str, trials_override=None) -> EvaluationScale:
+    scale = {
+        "smoke": EvaluationScale.smoke,
+        "benchmark": EvaluationScale.benchmark,
+        "paper": EvaluationScale.paper,
+    }[name]()
+    if trials_override is not None:
+        scale = EvaluationScale(
+            scale.name, scale.scenario, scale.pause_times, trials_override
+        )
+    return scale
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    scale = resolve_scale(args.scale, args.trials)
+    total_trials = (
+        len(scale.pause_times) * scale.trials * 5  # five protocols
+    )
+    print(
+        f"Running the '{scale.name}' sweep: {scale.scenario.node_count} nodes, "
+        f"{len(scale.pause_times)} pause times x {scale.trials} trials "
+        f"({total_trials} simulations)..."
+    )
+    started = time.time()
+
+    def progress(protocol, pause_time, trial):
+        print(f"  [{time.time() - started:7.1f}s] {protocol:5s} "
+              f"pause={pause_time:g}s trial={trial}", flush=True)
+
+    results = run_evaluation(scale, progress=progress)
+    elapsed = time.time() - started
+    print(f"\nSweep finished in {elapsed:.1f} s.\n")
+
+    wanted = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in wanted:
+        print("=" * 72)
+        if experiment_id == "table1":
+            print(table1_text(results))
+        else:
+            print(figure_text(experiment_id, results))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

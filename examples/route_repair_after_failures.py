@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Route repair without sequence-number resets — SRP's dense-label insertion.
+
+The scenario the paper motivates (Example 2, and the reason SRP's Fig. 7 curve
+is exactly zero): a wireless network where links keep breaking and new nodes
+keep appearing.  A protocol whose loop prevention relies on sequence numbers
+(AODV) must keep inflating them; SRP instead *splits* the dense label space
+locally, so the destination never has to issue a reset.
+
+This example runs the same failure-heavy static scenario under SRP, LDR and
+AODV:
+
+* a 5x4 grid of nodes carrying three CBR flows,
+* every 10 simulated seconds a relay node "crashes" (its radio goes silent),
+
+and then reports delivery, overhead and — the point of the exercise — how far
+each protocol's sequence numbers had to grow to survive the churn.
+
+Run with:  python examples/route_repair_after_failures.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.protocols import protocol_factory
+from repro.sim import build_network
+from repro.sim.mobility import StaticMobility
+from repro.sim.space import Position
+from repro.workloads import scaled_scenario
+
+PROTOCOLS = ("SRP", "LDR", "AODV")
+CRASH_INTERVAL = 10.0
+DURATION = 60.0
+
+
+def run_with_crashes(protocol_name: str, seed: int = 13):
+    """One static trial where a random relay crashes every CRASH_INTERVAL s."""
+    scenario = scaled_scenario(
+        node_count=20,
+        flow_count=3,
+        duration=DURATION,
+        pause_time=DURATION,  # static placement; failures drive the churn
+        terrain_width=1000.0,
+        terrain_height=400.0,
+        seed=seed,
+    )
+    network = build_network(scenario, protocol_factory(protocol_name))
+    rng = random.Random(seed)
+    crash_candidates = [nid for nid in network.nodes][4:16]
+    rng.shuffle(crash_candidates)
+
+    def crash_one(index=[0]):  # noqa: B006 - tiny stateful closure on purpose
+        if index[0] < len(crash_candidates):
+            victim = crash_candidates[index[0]]
+            index[0] += 1
+            network.nodes[victim].mobility = StaticMobility(
+                Position(100_000.0, 100_000.0)
+            )
+            print(f"    t={network.simulator.now:5.1f}s  {protocol_name}: "
+                  f"node {victim} crashed")
+        if network.simulator.now + CRASH_INTERVAL < DURATION:
+            network.simulator.schedule_in(CRASH_INTERVAL, crash_one)
+
+    network.simulator.schedule_in(CRASH_INTERVAL, crash_one)
+    summary = network.run()
+    return summary
+
+
+def main() -> None:
+    print("Failure-injection comparison: SRP vs LDR vs AODV")
+    print("(a relay node crashes every 10 s; same placement and traffic for all)")
+    print()
+    results = {}
+    for protocol in PROTOCOLS:
+        print(f"  running {protocol} ...")
+        results[protocol] = run_with_crashes(protocol)
+    print()
+    header = f"{'protocol':8s} {'delivery':>9s} {'net load':>9s} {'latency':>9s} {'avg seqno':>10s}"
+    print(header)
+    print("-" * len(header))
+    for protocol, summary in results.items():
+        print(
+            f"{protocol:8s} {summary.delivery_ratio:9.3f} "
+            f"{summary.network_load:9.3f} {summary.mean_latency:9.3f} "
+            f"{summary.average_sequence_number:10.2f}"
+        )
+    print()
+    print("SRP repairs every break by splitting labels locally, so its average")
+    print("sequence number stays at zero (Fig. 7); AODV must inflate sequence")
+    print("numbers on every discovery and route loss.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim so legacy editable installs work in offline environments.
+
+The environment this reproduction targets has no ``wheel`` package and no
+network access, so PEP 660 editable installs (which build a wheel) fail.  With
+this ``setup.py`` present and no ``[build-system]`` table in ``pyproject.toml``,
+``pip install -e .`` falls back to the classic ``setup.py develop`` path, which
+needs neither.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""Core Split Label Routing machinery: labels, orderings, invariants, SLR.
+
+This package contains the paper's primary contribution, independent of any
+simulator or packet format:
+
+* :mod:`repro.core.fractions` — proper-fraction arithmetic (mediant,
+  next-element, 32-bit overflow behaviour).
+* :mod:`repro.core.labels` — dense ordinal label sets (bounded/unbounded
+  fractions, lexicographic strings).
+* :mod:`repro.core.ordering` — the SRP composite ordering ``(sn, m/n)`` with
+  the Ordering Criteria of Definition 5.
+* :mod:`repro.core.invariants` — Definition 1 (maintain order), topological
+  order / loop-freedom checks (Theorem 3).
+* :mod:`repro.core.neworder` — Algorithm 1.
+* :mod:`repro.core.slr` — the abstract SLR route computation of Section II.
+* :mod:`repro.core.farey` — Farey/Stern–Brocot interpolation (the paper's
+  future-work direction on reduced fractions).
+"""
+
+from .fractions import (
+    DEFAULT_MAX_DENOMINATOR,
+    UINT32_MAX,
+    FractionOverflowError,
+    ProperFraction,
+    fibonacci_split_bound,
+    max_split_depth,
+    mediant,
+    next_element,
+)
+from .labels import (
+    BoundedFractionLabelSet,
+    DenseLabelSet,
+    LabelSplitError,
+    LexicographicLabelSet,
+    UnboundedFractionLabelSet,
+)
+from .neworder import NewOrderResult, new_order, new_order_for_rreq_advertisement
+from .ordering import UNASSIGNED, Ordering, ordering_max, ordering_min
+from .invariants import (
+    OrderViolation,
+    check_maintains_order,
+    maintains_order,
+    ordering_maintains_order,
+    successor_graph_is_loop_free,
+)
+from .slr import RouteComputationResult, SlrNetwork, SlrNodeState, SlrRouteComputation
+
+__all__ = [
+    "DEFAULT_MAX_DENOMINATOR",
+    "UINT32_MAX",
+    "FractionOverflowError",
+    "ProperFraction",
+    "fibonacci_split_bound",
+    "max_split_depth",
+    "mediant",
+    "next_element",
+    "BoundedFractionLabelSet",
+    "DenseLabelSet",
+    "LabelSplitError",
+    "LexicographicLabelSet",
+    "UnboundedFractionLabelSet",
+    "NewOrderResult",
+    "new_order",
+    "new_order_for_rreq_advertisement",
+    "UNASSIGNED",
+    "Ordering",
+    "ordering_max",
+    "ordering_min",
+    "OrderViolation",
+    "check_maintains_order",
+    "maintains_order",
+    "ordering_maintains_order",
+    "successor_graph_is_loop_free",
+    "RouteComputationResult",
+    "SlrNetwork",
+    "SlrNodeState",
+    "SlrRouteComputation",
+]

@@ -1,0 +1,193 @@
+"""Stern–Brocot / Farey-tree utilities (the paper's future-work direction).
+
+The conclusion of the paper notes that SRP does not reduce fractions and that
+the authors' ongoing work explores interpolating *relatively prime* proper
+fractions by walking a Farey tree.  This module implements that machinery so
+the repository also covers the forward-looking part of the design:
+
+* walking the Stern–Brocot tree restricted to ``[0, 1]`` (the Farey tree),
+* finding the fraction of smallest denominator inside an open interval
+  (`simplest_between`), which is the reduced-label interpolation the paper
+  wants, and
+* encoding/decoding tree paths, plus Farey-sequence enumeration for tests.
+
+All arithmetic is exact; mediants of reduced neighbours are automatically in
+lowest terms (a classical Stern–Brocot property the tests verify).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, List, Sequence, Tuple
+
+from .fractions import ProperFraction
+
+__all__ = [
+    "FareyNode",
+    "farey_sequence",
+    "simplest_between",
+    "stern_brocot_path",
+    "fraction_from_path",
+    "farey_parents",
+    "mediant_is_reduced",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FareyNode:
+    """A node in the Farey (Stern–Brocot) tree with its bounding ancestors."""
+
+    value: ProperFraction
+    low: ProperFraction
+    high: ProperFraction
+
+    def left(self) -> "FareyNode":
+        """Descend toward the lower bound (smaller fractions)."""
+        child = self.low.mediant_with(self.value, limit=None)
+        return FareyNode(child, self.low, self.value)
+
+    def right(self) -> "FareyNode":
+        """Descend toward the upper bound (larger fractions)."""
+        child = self.value.mediant_with(self.high, limit=None)
+        return FareyNode(child, self.value, self.high)
+
+    @classmethod
+    def root(cls) -> "FareyNode":
+        """The root ``1/2`` of the Farey tree over ``(0, 1)``."""
+        low = ProperFraction.zero()
+        high = ProperFraction.one()
+        return cls(low.mediant_with(high, limit=None), low, high)
+
+
+def farey_sequence(order: int) -> List[ProperFraction]:
+    """The Farey sequence ``F_order``: reduced fractions in ``[0, 1]`` with
+    denominator at most ``order``, in increasing value order.
+
+    Uses the classic next-term recurrence, O(|F_order|) time.
+    """
+    if order < 1:
+        raise ValueError("order must be at least 1")
+    result: List[ProperFraction] = []
+    a, b, c, d = 0, 1, 1, order
+    result.append(ProperFraction(a, b))
+    while c <= order:
+        k = (order + b) // d
+        a, b, c, d = c, d, k * c - a, k * d - b
+        result.append(ProperFraction(a, b))
+    return result
+
+
+def simplest_between(low: ProperFraction, high: ProperFraction) -> ProperFraction:
+    """The reduced fraction with the smallest denominator strictly inside
+    ``(low, high)``.
+
+    This is the "relatively prime interpolation" the paper's conclusion asks
+    for: instead of the raw mediant (whose terms grow every split), walk the
+    Stern–Brocot tree and stop at the first node that falls inside the open
+    interval.  The result is always in lowest terms and its denominator is
+    minimal among all fractions in the interval.
+    """
+    if not low < high:
+        raise ValueError(f"requires low < high, got {low} and {high}")
+    lo = low.as_fraction()
+    hi = high.as_fraction()
+    # Walk the Stern-Brocot tree over [0, 1].
+    left = Fraction(0, 1)
+    right = Fraction(1, 1)
+    while True:
+        mid = Fraction(
+            left.numerator + right.numerator, left.denominator + right.denominator
+        )
+        if mid <= lo:
+            left = mid
+        elif mid >= hi:
+            right = mid
+        else:
+            return ProperFraction(mid.numerator, mid.denominator)
+
+
+def stern_brocot_path(value: ProperFraction, max_depth: int = 10_000) -> str:
+    """The L/R path from the Farey-tree root ``1/2`` to ``value``.
+
+    ``value`` must be a reduced fraction strictly inside ``(0, 1)``.  The
+    returned string contains ``'L'`` (descend toward 0) and ``'R'`` (descend
+    toward 1) moves; the empty string denotes the root itself.
+    """
+    reduced = value.reduced()
+    if not (ProperFraction.zero() < reduced < ProperFraction.one()):
+        raise ValueError("value must lie strictly between 0/1 and 1/1")
+    target = reduced.as_fraction()
+    node = FareyNode.root()
+    path: List[str] = []
+    for _ in range(max_depth):
+        current = node.value.as_fraction()
+        if current == target:
+            return "".join(path)
+        if target < current:
+            path.append("L")
+            node = node.left()
+        else:
+            path.append("R")
+            node = node.right()
+    raise ValueError(f"path to {value} exceeds max depth {max_depth}")
+
+
+def fraction_from_path(path: Sequence[str]) -> ProperFraction:
+    """Inverse of :func:`stern_brocot_path`: follow L/R moves from the root."""
+    node = FareyNode.root()
+    for move in path:
+        if move == "L":
+            node = node.left()
+        elif move == "R":
+            node = node.right()
+        else:
+            raise ValueError(f"invalid move {move!r}; expected 'L' or 'R'")
+    return node.value
+
+
+def farey_parents(value: ProperFraction) -> Tuple[ProperFraction, ProperFraction]:
+    """The two Farey neighbours whose mediant is ``value`` (reduced).
+
+    For a reduced fraction ``m/n`` strictly inside ``(0, 1)`` these are the
+    tree ancestors bounding it; their mediant reproduces ``m/n`` exactly.
+    """
+    reduced = value.reduced()
+    if not (ProperFraction.zero() < reduced < ProperFraction.one()):
+        raise ValueError("value must lie strictly between 0/1 and 1/1")
+    target = reduced.as_fraction()
+    node = FareyNode.root()
+    while node.value.as_fraction() != target:
+        if target < node.value.as_fraction():
+            node = node.left()
+        else:
+            node = node.right()
+    return node.low, node.high
+
+
+def mediant_is_reduced(low: ProperFraction, high: ProperFraction) -> bool:
+    """True when the mediant of ``low`` and ``high`` is already in lowest terms.
+
+    Holds whenever ``low`` and ``high`` are Farey neighbours (i.e.
+    ``|p*n - m*q| == 1``), which is the structural property the Farey-tree
+    interpolation exploits.
+    """
+    m, n = low.as_tuple()
+    p, q = high.as_tuple()
+    determinant = abs(p * n - m * q)
+    mediant = low.mediant_with(high, limit=None)
+    return determinant == 1 or mediant.reduced() == mediant
+
+
+def enumerate_tree(depth: int) -> Iterator[ProperFraction]:
+    """Breadth-first enumeration of Farey-tree values down to ``depth`` levels."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    frontier = [FareyNode.root()]
+    for _ in range(depth + 1):
+        next_frontier: List[FareyNode] = []
+        for node in frontier:
+            yield node.value
+            next_frontier.append(node.left())
+            next_frontier.append(node.right())
+        frontier = next_frontier

@@ -1,0 +1,295 @@
+"""Dense ordinal label sets for Split Label Routing (Section II of the paper).
+
+SLR is defined over any *dense* ordinal set ``L`` with
+
+* a strict linear order ``<``,
+* a greatest element (the label of an unassigned node),
+* ideally a least element (the natural label for a destination),
+* a next-element operator ``eps+`` with ``eps < eps+``, and
+* density: for any two distinct labels there is a label strictly in between.
+
+This module defines the :class:`DenseLabelSet` interface and three concrete
+implementations:
+
+* :class:`UnboundedFractionLabelSet` — exact rationals in ``[0, 1]``; the
+  idealised set used in Section II's examples and proofs.
+* :class:`BoundedFractionLabelSet` — proper fractions with 32-bit fields, the
+  set SRP actually uses; splitting raises :class:`LabelSplitError` on overflow
+  so the caller can request a path reset.
+* :class:`LexicographicLabelSet` — lexicographically ordered strings over a
+  finite alphabet, the other dense-set example the introduction mentions
+  ("a lexicographically sorted string or a subset of the real numbers").
+
+All sets share the convention that *smaller is closer to the destination*: a
+directed edge ``(i, j)`` requires ``label(j) < label(i)``.
+"""
+
+from __future__ import annotations
+
+import abc
+from fractions import Fraction
+from typing import Generic, Iterable, TypeVar
+
+from .fractions import (
+    UINT32_MAX,
+    FractionOverflowError,
+    ProperFraction,
+)
+
+__all__ = [
+    "LabelSplitError",
+    "DenseLabelSet",
+    "UnboundedFractionLabelSet",
+    "BoundedFractionLabelSet",
+    "LexicographicLabelSet",
+]
+
+L = TypeVar("L")
+
+
+class LabelSplitError(ArithmeticError):
+    """Raised when a label set cannot produce a label inside an open interval.
+
+    For truly dense sets this never happens with valid arguments; for the
+    bounded fraction set it signals 32-bit overflow, i.e. the point where SRP
+    must fall back to a sequence-number path reset.
+    """
+
+
+class DenseLabelSet(abc.ABC, Generic[L]):
+    """Interface every SLR label set implements.
+
+    The operations mirror what the SLR procedures in Section II need: compare
+    two labels, obtain the greatest/least element, advance a label with the
+    next-element operator, and split (interpolate) strictly between two labels.
+    """
+
+    # -- distinguished elements --------------------------------------------
+
+    @abc.abstractmethod
+    def greatest(self) -> L:
+        """The greatest element — the label of an unassigned node."""
+
+    @abc.abstractmethod
+    def least(self) -> L:
+        """The least element — the natural label for a destination."""
+
+    # -- order ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def less(self, a: L, b: L) -> bool:
+        """Strict order ``a < b`` (a is closer to the destination than b)."""
+
+    def less_equal(self, a: L, b: L) -> bool:
+        """``a <= b`` derived from :meth:`less` and :meth:`equal`."""
+        return self.less(a, b) or self.equal(a, b)
+
+    @abc.abstractmethod
+    def equal(self, a: L, b: L) -> bool:
+        """Label equality (by value, not necessarily by representation)."""
+
+    def minimum(self, labels: Iterable[L]) -> L:
+        """The least of a non-empty collection of labels."""
+        it = iter(labels)
+        try:
+            best = next(it)
+        except StopIteration:
+            raise ValueError("minimum() of an empty label collection") from None
+        for label in it:
+            if self.less(label, best):
+                best = label
+        return best
+
+    def maximum(self, labels: Iterable[L]) -> L:
+        """The greatest of a non-empty collection of labels."""
+        it = iter(labels)
+        try:
+            best = next(it)
+        except StopIteration:
+            raise ValueError("maximum() of an empty label collection") from None
+        for label in it:
+            if self.less(best, label):
+                best = label
+        return best
+
+    # -- construction of new labels ------------------------------------------
+
+    @abc.abstractmethod
+    def next_element(self, label: L) -> L:
+        """A label strictly greater than ``label`` but still below the greatest.
+
+        Corresponds to the paper's ``eps+`` operator.
+        """
+
+    @abc.abstractmethod
+    def split(self, low: L, high: L) -> L:
+        """A label strictly between ``low`` and ``high`` (requires ``low < high``).
+
+        Raises :class:`LabelSplitError` when the set cannot represent such a
+        label (only possible for bounded sets), and :class:`ValueError` when
+        the arguments are not strictly ordered.
+        """
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _require_ordered(self, low: L, high: L) -> None:
+        if not self.less(low, high):
+            raise ValueError(f"split requires low < high, got {low!r} and {high!r}")
+
+    def is_greatest(self, label: L) -> bool:
+        """True if ``label`` equals the greatest element."""
+        return self.equal(label, self.greatest())
+
+    def is_least(self, label: L) -> bool:
+        """True if ``label`` equals the least element."""
+        return self.equal(label, self.least())
+
+
+class UnboundedFractionLabelSet(DenseLabelSet[Fraction]):
+    """Exact rationals in ``[0, 1]`` — the idealised dense set of Section II.
+
+    Splitting uses the mediant of the (reduced) fractions, so a request/reply
+    pass over this set produces exactly the labels of the paper's Example 1
+    (``0/1, 1/2, 2/3, 3/4, 4/5, 5/6``) and Example 2.
+    """
+
+    def greatest(self) -> Fraction:
+        return Fraction(1, 1)
+
+    def least(self) -> Fraction:
+        return Fraction(0, 1)
+
+    def less(self, a: Fraction, b: Fraction) -> bool:
+        return a < b
+
+    def equal(self, a: Fraction, b: Fraction) -> bool:
+        return a == b
+
+    def next_element(self, label: Fraction) -> Fraction:
+        if label >= self.greatest():
+            raise ValueError("the greatest element has no next-element")
+        return Fraction(label.numerator + 1, label.denominator + 1)
+
+    def split(self, low: Fraction, high: Fraction) -> Fraction:
+        self._require_ordered(low, high)
+        return Fraction(
+            low.numerator + high.numerator, low.denominator + high.denominator
+        )
+
+
+class BoundedFractionLabelSet(DenseLabelSet[ProperFraction]):
+    """Proper fractions with bounded integer fields — SRP's practical set.
+
+    The bound defaults to 32-bit unsigned, matching the paper.  When a mediant
+    would overflow, :meth:`split` and :meth:`next_element` raise
+    :class:`LabelSplitError`; SRP reacts by requesting a sequence-number path
+    reset rather than producing an out-of-order label.
+    """
+
+    def __init__(self, limit: int = UINT32_MAX) -> None:
+        if limit < 2:
+            raise ValueError("limit must allow at least the fraction 1/2")
+        self._limit = limit
+
+    @property
+    def limit(self) -> int:
+        """The largest value a numerator or denominator may take."""
+        return self._limit
+
+    def greatest(self) -> ProperFraction:
+        return ProperFraction.one()
+
+    def least(self) -> ProperFraction:
+        return ProperFraction.zero()
+
+    def less(self, a: ProperFraction, b: ProperFraction) -> bool:
+        return a < b
+
+    def equal(self, a: ProperFraction, b: ProperFraction) -> bool:
+        return a == b
+
+    def next_element(self, label: ProperFraction) -> ProperFraction:
+        if label.is_one:
+            raise ValueError("the greatest element has no next-element")
+        try:
+            return label.next_element(limit=self._limit)
+        except FractionOverflowError as exc:
+            raise LabelSplitError(str(exc)) from exc
+
+    def split(self, low: ProperFraction, high: ProperFraction) -> ProperFraction:
+        self._require_ordered(low, high)
+        try:
+            return low.mediant_with(high, limit=self._limit)
+        except FractionOverflowError as exc:
+            raise LabelSplitError(str(exc)) from exc
+
+
+class LexicographicLabelSet(DenseLabelSet[str]):
+    """Dense labels as strings over the alphabet ``'a'..'z'`` plus sentinels.
+
+    The empty string is the least element and the one-character string ``'~'``
+    (which sorts after every lowercase letter) is the greatest.  Interior
+    labels are lowercase strings that never end in ``'a'`` — with that
+    invariant the order is dense and :meth:`split` can always interpolate by
+    the classic fractional-indexing midpoint construction.  This set
+    demonstrates that SLR is not tied to fractions ("a lexicographically
+    sorted string or a subset of the real numbers", Section I).
+    """
+
+    _ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+    _GREATEST = "~"
+
+    def greatest(self) -> str:
+        return self._GREATEST
+
+    def least(self) -> str:
+        return ""
+
+    def less(self, a: str, b: str) -> bool:
+        return a < b
+
+    def equal(self, a: str, b: str) -> bool:
+        return a == b
+
+    def next_element(self, label: str) -> str:
+        if label == self._GREATEST:
+            raise ValueError("the greatest element has no next-element")
+        return self._midpoint(label, None)
+
+    def split(self, low: str, high: str) -> str:
+        self._require_ordered(low, high)
+        upper = None if high == self._GREATEST else high
+        result = self._midpoint(low, upper)
+        if not (low < result and result < high):
+            raise LabelSplitError(
+                f"unable to split between {low!r} and {high!r}"
+            )
+        return result
+
+    def _midpoint(self, low: str, high: str | None) -> str:
+        """A lowercase string strictly between ``low`` and ``high``.
+
+        ``high is None`` means "no upper bound below the greatest sentinel".
+        Precondition: ``low < high`` when ``high`` is given, and ``low`` does
+        not end in ``'a'`` (which holds for every label this set produces).
+        """
+        digits = self._ALPHABET
+        if high is not None:
+            # Strip the longest common prefix, padding `low` with the smallest
+            # letter so "" and "ab" share the prefix "a"; this is what keeps
+            # results from ever ending in the smallest letter.
+            n = 0
+            while n < len(high) and (low[n] if n < len(low) else digits[0]) == high[n]:
+                n += 1
+            if n > 0:
+                return high[:n] + self._midpoint(low[n:], high[n:])
+        index_low = digits.index(low[0]) if low else 0
+        index_high = digits.index(high[0]) if high is not None else len(digits)
+        if index_high - index_low > 1:
+            return digits[(index_low + index_high + 1) // 2]
+        # The leading letters are consecutive: either borrow the first letter
+        # of `high` when it has room to spare, or keep `low`'s first letter and
+        # interpolate the tail toward the open upper bound.
+        if high is not None and len(high) > 1:
+            return high[:1]
+        return digits[index_low] + self._midpoint(low[1:], None)

@@ -1,0 +1,153 @@
+"""Algorithm 1 of the paper: NEWORDER — choose a node's new SRP ordering.
+
+When node ``A`` receives a feasible advertisement ``?`` for destination ``T``
+(Procedure 3, "Set Route"), it computes a new ordering ``G_A_T`` from
+
+* its own current ordering ``O_A_T``,
+* the cached ordering of the corresponding solicitation ``C_A_?`` (the minimum
+  predecessor ordering ``M`` of SLR, indexed per (source, rreq-id)), and
+* the advertised ordering ``O_?_T``.
+
+The algorithm returns the *unordered* result ``(0, 1/1)`` when no valid label
+exists (e.g. a 32-bit overflow of the fraction split), which makes Procedure 3
+drop the advertisement — Theorem 6 shows every other return value maintains
+order.  When the receiving node is the terminus of the advertisement, or the
+advertisement rides in a RREQ / Hello packet that has no cached solicitation,
+the caller passes the unassigned ordering as ``C_A_?``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from .fractions import UINT32_MAX
+from .ordering import Ordering, UNASSIGNED
+
+__all__ = [
+    "NewOrderResult",
+    "new_order",
+    "new_order_for_rreq_advertisement",
+]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class NewOrderResult:
+    """Outcome of Algorithm 1.
+
+    ``ordering`` is the computed label ``G_A_T`` (possibly the unassigned
+    sentinel when the advertisement must be dropped).  ``dropped_successors``
+    lists successor identifiers that line 13 of the algorithm eliminated
+    because they would no longer be in order under the new label.
+    ``case`` records which assignment line produced the value, for tests that
+    check Theorem 6 case by case.
+    """
+
+    ordering: Ordering
+    dropped_successors: Tuple[NodeId, ...] = ()
+    case: str = "unordered"
+
+    @property
+    def is_finite(self) -> bool:
+        """True when the advertisement may be accepted (Procedure 3)."""
+        return self.ordering.is_finite
+
+
+def new_order(
+    current: Ordering,
+    cached_solicitation: Ordering,
+    advertised: Ordering,
+    successors: Optional[Dict[NodeId, Ordering]] = None,
+    *,
+    limit: int = UINT32_MAX,
+) -> NewOrderResult:
+    """Algorithm 1: ``NEWORDER(O_A_T, C_A_?, O_?_T)``.
+
+    Parameters mirror the paper's notation: ``current`` is ``O_A_T``,
+    ``cached_solicitation`` is ``C_A_?`` (use :data:`~repro.core.ordering.UNASSIGNED`
+    when there is no cached solicitation), and ``advertised`` is ``O_?_T``.
+    ``successors`` maps successor identifiers to their stored orderings
+    ``S_A_T,i``; entries that the new label cannot keep in order are reported
+    as dropped (line 13).
+
+    The function is pure: it never mutates ``successors``.
+    """
+    successors = successors or {}
+    sn_a = current.sequence_number
+    sn_c = cached_solicitation.sequence_number
+    sn_adv = advertised.sequence_number
+
+    result = UNASSIGNED
+    case = "unordered"
+
+    if sn_a < sn_adv:
+        if sn_c < sn_adv:
+            # Case II (line 5): both the node and its cached predecessor are at
+            # an older sequence number, so anything at the advertised sequence
+            # number is in order for them; take the next-element O_? + 1/1.
+            result = advertised.next_element(limit=None)
+            case = "line5"
+            if not result.fraction.fits(limit):
+                result, case = UNASSIGNED, "overflow"
+        elif not advertised.would_overflow_with(cached_solicitation, limit):
+            # Case III (line 7): split the advertised fraction with the cached
+            # predecessor fraction (same sequence number as the advertisement).
+            result = Ordering(
+                sn_adv,
+                cached_solicitation.fraction.mediant_with(
+                    advertised.fraction, limit=limit
+                ),
+            )
+            case = "line7"
+        else:
+            case = "overflow"
+    elif sn_a == sn_adv:
+        if cached_solicitation.precedes(current):
+            # Case IV (line 10): the node's current label already satisfies the
+            # cached predecessor ordering; keep it unchanged.
+            result = current
+            case = "line10"
+        elif not advertised.would_overflow_with(cached_solicitation, limit):
+            # Case V (line 12): split toward the advertisement, as in Case III.
+            result = Ordering(
+                sn_adv,
+                cached_solicitation.fraction.mediant_with(
+                    advertised.fraction, limit=limit
+                ),
+            )
+            case = "line12"
+        else:
+            case = "overflow"
+    # else: sn_a > sn_adv — the advertisement is stale/infeasible; Case I
+    # (line 2) returns the unordered result and Procedure 3 ignores it.
+
+    if not result.is_finite:
+        return NewOrderResult(UNASSIGNED, (), case)
+
+    dropped = tuple(
+        node
+        for node, successor_ordering in successors.items()
+        if not result.precedes(successor_ordering)
+    )
+    return NewOrderResult(result, dropped, case)
+
+
+def new_order_for_rreq_advertisement(
+    current: Ordering,
+    advertised: Ordering,
+    successors: Optional[Dict[NodeId, Ordering]] = None,
+    *,
+    limit: int = UINT32_MAX,
+) -> NewOrderResult:
+    """Algorithm 1 applied to an advertisement carried in a RREQ or Hello.
+
+    Such advertisements have no cached solicitation (Procedure 3 says to use
+    ``C_A_? = (0, (1, 1))``, the unassigned ordering, in that case) and a node
+    is free to keep its existing label — it only adopts a new one when doing so
+    keeps every inequality except Eq. 4, which no longer applies.
+    """
+    return new_order(
+        current, UNASSIGNED, advertised, successors, limit=limit
+    )

@@ -1,0 +1,30 @@
+"""Experiment harness regenerating the paper's Table I and Figures 3–7."""
+
+from .paper import (
+    EXPERIMENTS,
+    PAPER_PROTOCOLS,
+    SEQUENCE_NUMBER_PROTOCOLS,
+    EvaluationScale,
+    ExperimentDefinition,
+    figure,
+    figure_text,
+    run_evaluation,
+    table1,
+    table1_text,
+)
+from .runner import SweepResults, run_sweep
+
+__all__ = [
+    "EXPERIMENTS",
+    "PAPER_PROTOCOLS",
+    "SEQUENCE_NUMBER_PROTOCOLS",
+    "EvaluationScale",
+    "ExperimentDefinition",
+    "figure",
+    "figure_text",
+    "run_evaluation",
+    "table1",
+    "table1_text",
+    "SweepResults",
+    "run_sweep",
+]

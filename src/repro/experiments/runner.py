@@ -1,0 +1,108 @@
+"""The experiment runner: protocol x pause-time x trial sweeps.
+
+The paper's evaluation varies the random-waypoint pause time over eight values
+and runs ten trials per point, with every protocol seeing the identical
+mobility and traffic script in a given trial.  :func:`run_sweep` reproduces
+that design: for each (pause time, trial) pair it derives one scenario — same
+seed for every protocol — and runs every protocol on it, collecting
+:class:`~repro.sim.stats.TrialSummary` objects into a :class:`SweepResults`
+container the figure/table code consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..metrics.collectors import extract_metric
+from ..protocols import protocol_factory
+from ..sim.network import run_trial
+from ..sim.stats import TrialSummary
+from ..workloads.scenario import Scenario
+
+__all__ = ["SweepResults", "run_sweep"]
+
+ProgressCallback = Callable[[str, float, int], None]
+
+
+@dataclass
+class SweepResults:
+    """All trial summaries of one sweep, indexed by (protocol, pause, trial)."""
+
+    pause_times: Sequence[float]
+    trials: int
+    protocols: Sequence[str]
+    summaries: Dict[Tuple[str, float, int], TrialSummary] = field(default_factory=dict)
+
+    # -- storage -------------------------------------------------------------------
+
+    def add(
+        self, protocol: str, pause_time: float, trial: int, summary: TrialSummary
+    ) -> None:
+        """Record one trial's summary."""
+        self.summaries[(protocol, pause_time, trial)] = summary
+
+    # -- queries ---------------------------------------------------------------------
+
+    def metric_values(
+        self, protocol: str, metric: str, pause_time: float
+    ) -> List[float]:
+        """Per-trial values of ``metric`` for one protocol at one pause time."""
+        return [
+            extract_metric(self.summaries[(protocol, pause_time, trial)], metric)
+            for trial in range(self.trials)
+            if (protocol, pause_time, trial) in self.summaries
+        ]
+
+    def metric_by_pause(
+        self, protocol: str, metric: str
+    ) -> Dict[float, List[float]]:
+        """``pause time -> per-trial values`` for one protocol and metric."""
+        return {
+            pause: self.metric_values(protocol, metric, pause)
+            for pause in self.pause_times
+        }
+
+    def metric_over_all_pauses(self, protocol: str, metric: str) -> List[float]:
+        """Every trial value across every pause time (Table I's averages)."""
+        values: List[float] = []
+        for pause in self.pause_times:
+            values.extend(self.metric_values(protocol, metric, pause))
+        return values
+
+    def series(self, metric: str) -> Dict[str, Dict[float, List[float]]]:
+        """``protocol -> pause -> values`` for one metric (figure input shape)."""
+        return {
+            protocol: self.metric_by_pause(protocol, metric)
+            for protocol in self.protocols
+        }
+
+
+def run_sweep(
+    base_scenario: Scenario,
+    protocols: Sequence[str],
+    *,
+    pause_times: Sequence[float],
+    trials: int = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepResults:
+    """Run every protocol over every (pause time, trial) combination.
+
+    Trial ``k`` at pause time ``p`` uses seed ``base_scenario.seed + k`` (and
+    the pause time folded into the scenario), so all protocols in that cell
+    share mobility and traffic exactly, as in the paper.
+    """
+    results = SweepResults(
+        pause_times=list(pause_times), trials=trials, protocols=list(protocols)
+    )
+    for pause_time in pause_times:
+        for trial in range(trials):
+            scenario = base_scenario.with_pause_time(pause_time).with_seed(
+                base_scenario.seed + trial
+            )
+            for protocol in protocols:
+                if progress is not None:
+                    progress(protocol, pause_time, trial)
+                summary = run_trial(scenario, protocol_factory(protocol))
+                results.add(protocol, pause_time, trial, summary)
+    return results

@@ -1,0 +1,18 @@
+"""Metrics: the paper's evaluation quantities, confidence intervals, reports."""
+
+from .collectors import METRIC_EXTRACTORS, extract_metric, summary_metrics
+from .confidence import ConfidenceInterval, intervals_disjoint, mean_confidence_interval
+from .report import MetricSeries, format_series, format_table, series_from_results
+
+__all__ = [
+    "METRIC_EXTRACTORS",
+    "extract_metric",
+    "summary_metrics",
+    "ConfidenceInterval",
+    "intervals_disjoint",
+    "mean_confidence_interval",
+    "MetricSeries",
+    "format_series",
+    "format_table",
+    "series_from_results",
+]

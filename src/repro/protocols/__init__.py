@@ -1,0 +1,61 @@
+"""Routing protocols: SRP (the paper's contribution) and its baselines.
+
+``PROTOCOLS`` maps the names used throughout the evaluation (Table I and
+Figures 3–7) to factories producing fresh per-node protocol instances, which
+is the shape :func:`repro.sim.network.build_network` expects.
+"""
+
+from typing import Callable, Dict, Hashable
+
+from .aodv import AodvConfig, AodvProtocol
+from .base import PacketBuffer, ProtocolConfig, RoutingProtocol
+from .common import ComputationState, DiscoveryController, RreqCache
+from .dsr import DsrConfig, DsrProtocol
+from .ldr import LdrConfig, LdrProtocol
+from .olsr import OlsrConfig, OlsrProtocol
+from .oracle import OracleProtocol
+from .srp import SrpConfig, SrpProtocol
+
+__all__ = [
+    "AodvConfig",
+    "AodvProtocol",
+    "PacketBuffer",
+    "ProtocolConfig",
+    "RoutingProtocol",
+    "ComputationState",
+    "DiscoveryController",
+    "RreqCache",
+    "DsrConfig",
+    "DsrProtocol",
+    "LdrConfig",
+    "LdrProtocol",
+    "OlsrConfig",
+    "OlsrProtocol",
+    "OracleProtocol",
+    "SrpConfig",
+    "SrpProtocol",
+    "PROTOCOLS",
+    "protocol_factory",
+]
+
+#: Name -> protocol class for the five protocols in the paper's evaluation,
+#: plus the testing oracle.
+PROTOCOLS: Dict[str, type] = {
+    "SRP": SrpProtocol,
+    "LDR": LdrProtocol,
+    "AODV": AodvProtocol,
+    "DSR": DsrProtocol,
+    "OLSR": OlsrProtocol,
+    "Oracle": OracleProtocol,
+}
+
+
+def protocol_factory(name: str) -> Callable[[Hashable], RoutingProtocol]:
+    """A per-node factory for the named protocol (for ``build_network``)."""
+    try:
+        protocol_class = PROTOCOLS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; expected one of {sorted(PROTOCOLS)}"
+        ) from None
+    return lambda node_id: protocol_class()

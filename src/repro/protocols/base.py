@@ -1,0 +1,152 @@
+"""The routing-protocol interface every protocol in this repository implements.
+
+A protocol instance belongs to exactly one node.  The simulator interacts with
+it through four entry points:
+
+* :meth:`RoutingProtocol.start` — called once when the trial starts (proactive
+  protocols schedule their periodic advertisements here).
+* :meth:`RoutingProtocol.originate_data` — the application wants a data packet
+  delivered; the protocol forwards it, queues it while discovering a route, or
+  drops it.
+* :meth:`RoutingProtocol.handle_packet` — the MAC decoded a packet addressed
+  to this node (or a broadcast).
+* :meth:`RoutingProtocol.handle_link_failure` — the MAC exhausted retries for
+  a unicast to a neighbour; the protocol treats the link as broken (the
+  paper's "link-layer unicast loss detection").
+
+The base class also provides the shared helpers all implementations use: a
+packet-buffer for data awaiting routes, control-packet constructors and the
+per-destination statistics hooks used by Fig. 7 (sequence-number accounting).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import defaultdict, deque
+from typing import Deque, Dict, Hashable, List, Optional
+
+from ..sim.node import Node
+from ..sim.packet import Packet, PacketKind
+
+__all__ = ["RoutingProtocol", "ProtocolConfig", "PacketBuffer"]
+
+NodeId = Hashable
+
+
+class ProtocolConfig:
+    """Base class for protocol configuration objects (plain attribute bags)."""
+
+
+class PacketBuffer:
+    """Data packets waiting for a route, bounded per destination.
+
+    AODV, DSR, LDR and SRP all queue data while route discovery runs; packets
+    are dropped when discovery ultimately fails or the buffer overflows.
+    """
+
+    def __init__(self, max_per_destination: int = 64) -> None:
+        self._max = max_per_destination
+        self._buffers: Dict[NodeId, Deque[Packet]] = defaultdict(deque)
+
+    def push(self, packet: Packet) -> bool:
+        """Buffer a packet; returns False (and drops it) when full."""
+        queue = self._buffers[packet.destination]
+        if len(queue) >= self._max:
+            return False
+        queue.append(packet)
+        return True
+
+    def pop_all(self, destination: NodeId) -> List[Packet]:
+        """Remove and return every buffered packet for ``destination``."""
+        queue = self._buffers.pop(destination, deque())
+        return list(queue)
+
+    def drop_all(self, destination: NodeId) -> int:
+        """Discard the buffer for ``destination``; returns how many were lost."""
+        return len(self._buffers.pop(destination, deque()))
+
+    def pending(self, destination: NodeId) -> int:
+        """Number of packets currently waiting for ``destination``."""
+        return len(self._buffers.get(destination, ()))
+
+
+class RoutingProtocol(abc.ABC):
+    """Abstract per-node routing protocol."""
+
+    #: Human-readable protocol name used in reports ("SRP", "AODV", ...).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.node: Optional[Node] = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def attach(self, node: Node) -> None:
+        """Bind this protocol instance to its node (called by ``Node``)."""
+        self.node = node
+
+    def start(self) -> None:
+        """Hook called at simulation start; default is a no-op."""
+
+    def finalize(self) -> None:
+        """Hook called at simulation end, before statistics are rolled up."""
+
+    # -- required behaviour -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def originate_data(self, packet: Packet) -> None:
+        """Handle an application packet originated at this node."""
+
+    @abc.abstractmethod
+    def handle_packet(self, packet: Packet, from_node: NodeId) -> None:
+        """Handle a packet received from a neighbour (data or control)."""
+
+    @abc.abstractmethod
+    def handle_link_failure(self, packet: Packet, next_hop: NodeId) -> None:
+        """React to MAC-level unicast failure toward ``next_hop``."""
+
+    # -- statistics hooks ------------------------------------------------------------------
+
+    def sequence_number_metric(self) -> int:
+        """The node's sequence-number growth for Fig. 7 (0 when not applicable).
+
+        Protocols report how far their *own* sequence number advanced beyond
+        its initial value, matching the paper's normalisation ("we have
+        subtracted one from SRP so all protocols have a base of zero").
+        """
+        return 0
+
+    # -- helpers for subclasses -----------------------------------------------------------------
+
+    @property
+    def simulator(self):
+        """The trial's simulator (valid after :meth:`attach`)."""
+        return self.node.simulator
+
+    @property
+    def node_id(self) -> NodeId:
+        """This node's identifier."""
+        return self.node.node_id
+
+    def make_control_packet(
+        self, destination: NodeId, payload, size_bytes: int
+    ) -> Packet:
+        """Build a control packet originating at this node."""
+        return Packet(
+            kind=PacketKind.CONTROL,
+            source=self.node_id,
+            destination=destination,
+            size_bytes=size_bytes,
+            created_at=self.simulator.now,
+            payload=payload,
+        )
+
+    def deliver_or_forward_hook(self, packet: Packet) -> bool:
+        """Deliver ``packet`` locally when this node is its destination.
+
+        Returns True when the packet was consumed here.
+        """
+        if packet.destination == self.node_id:
+            self.node.deliver_data(packet)
+            return True
+        return False

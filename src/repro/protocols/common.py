@@ -1,0 +1,209 @@
+"""Machinery shared by the on-demand protocols (SRP, AODV, LDR, DSR).
+
+All four on-demand protocols in the paper share the same outer skeleton:
+
+* a **route-request cache** that remembers which ``(source, rreq_id)``
+  computations this node has already participated in, with the
+  passive / engaged / active states of LDR and SRP, the cached reverse-path
+  last hop and any per-computation ordering information;
+* a **route-discovery controller** per destination at the source: it numbers
+  RREQs, runs the retry timer (``2 * ttl * latency`` in the paper), counts
+  attempts and finally gives up, dropping buffered data.
+
+Keeping these here means the per-protocol modules contain only what actually
+differs: the loop-prevention state (sequence numbers, feasible distances,
+fraction orderings) and the reply/accept conditions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+__all__ = [
+    "ComputationState",
+    "RreqCacheEntry",
+    "RreqCache",
+    "DiscoveryController",
+    "DiscoveryState",
+    "CONTROL_SIZES",
+]
+
+NodeId = Hashable
+
+#: Nominal control-packet sizes in bytes (IP + UDP + protocol header), used
+#: only for transmission-time computation.
+CONTROL_SIZES = {
+    "rreq": 52,
+    "rrep": 44,
+    "rerr": 32,
+    "hello": 40,
+    "tc": 60,
+}
+
+
+class ComputationState(enum.Enum):
+    """LDR/SRP route-computation states for one ``(source, rreq_id)`` pair."""
+
+    PASSIVE = "passive"
+    ENGAGED = "engaged"
+    ACTIVE = "active"
+
+
+@dataclass
+class RreqCacheEntry:
+    """What a node remembers about one route computation it participates in."""
+
+    source: NodeId
+    rreq_id: int
+    state: ComputationState
+    last_hop: Optional[NodeId] = None
+    cached_ordering: Any = None
+    replied: bool = False
+    created_at: float = 0.0
+
+
+class RreqCache:
+    """The per-node table of route computations, keyed by ``(source, rreq_id)``.
+
+    A node enters each computation at most once (Theorem 7's argument for
+    control packets not looping), so :meth:`try_engage` refuses a second entry
+    for the same key.
+    """
+
+    def __init__(self, *, max_age: float = 60.0) -> None:
+        self._entries: Dict[Tuple[NodeId, int], RreqCacheEntry] = {}
+        self._max_age = max_age
+
+    def state_of(self, source: NodeId, rreq_id: int) -> ComputationState:
+        """Current state for the pair; PASSIVE when never seen."""
+        entry = self._entries.get((source, rreq_id))
+        return entry.state if entry else ComputationState.PASSIVE
+
+    def get(self, source: NodeId, rreq_id: int) -> Optional[RreqCacheEntry]:
+        """The cache entry, or ``None`` when the node is passive for the pair."""
+        return self._entries.get((source, rreq_id))
+
+    def activate(self, source: NodeId, rreq_id: int, now: float) -> RreqCacheEntry:
+        """Record that this node originated the computation (state ACTIVE)."""
+        entry = RreqCacheEntry(
+            source, rreq_id, ComputationState.ACTIVE, created_at=now
+        )
+        self._entries[(source, rreq_id)] = entry
+        return entry
+
+    def try_engage(
+        self,
+        source: NodeId,
+        rreq_id: int,
+        now: float,
+        *,
+        last_hop: Optional[NodeId],
+        cached_ordering: Any = None,
+    ) -> Optional[RreqCacheEntry]:
+        """Move PASSIVE -> ENGAGED and return the entry; ``None`` if not passive."""
+        if self.state_of(source, rreq_id) is not ComputationState.PASSIVE:
+            return None
+        entry = RreqCacheEntry(
+            source,
+            rreq_id,
+            ComputationState.ENGAGED,
+            last_hop=last_hop,
+            cached_ordering=cached_ordering,
+            created_at=now,
+        )
+        self._entries[(source, rreq_id)] = entry
+        return entry
+
+    def expire(self, now: float) -> None:
+        """Drop entries older than the cache lifetime (DELETE_PERIOD)."""
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if now - entry.created_at > self._max_age
+        ]
+        for key in stale:
+            del self._entries[key]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class DiscoveryState:
+    """The source-side state of one in-progress route discovery."""
+
+    destination: NodeId
+    rreq_id: int
+    attempts: int = 1
+    timer: Any = None
+
+
+class DiscoveryController:
+    """Runs route-discovery attempts and retries for a source node.
+
+    The caller supplies ``send_request(destination, rreq_id, attempt)`` which
+    actually floods the RREQ, and ``give_up(destination)`` which is invoked
+    when the final retry times out (the protocol then drops buffered data, as
+    Procedure 1 prescribes).
+    """
+
+    def __init__(
+        self,
+        simulator,
+        *,
+        send_request: Callable[[NodeId, int, int], None],
+        give_up: Callable[[NodeId], None],
+        timeout: float = 1.0,
+        max_attempts: int = 3,
+    ) -> None:
+        self._simulator = simulator
+        self._send_request = send_request
+        self._give_up = give_up
+        self._timeout = timeout
+        self._max_attempts = max_attempts
+        self._next_rreq_id = 0
+        self._active: Dict[NodeId, DiscoveryState] = {}
+
+    def is_active(self, destination: NodeId) -> bool:
+        """True while a discovery for ``destination`` is outstanding."""
+        return destination in self._active
+
+    def next_rreq_id(self) -> int:
+        """A fresh, node-locally unique RREQ identifier."""
+        self._next_rreq_id += 1
+        return self._next_rreq_id
+
+    def begin(self, destination: NodeId) -> Optional[DiscoveryState]:
+        """Start a discovery unless one is already active (Procedure 1)."""
+        if self.is_active(destination):
+            return None
+        state = DiscoveryState(destination, self.next_rreq_id())
+        self._active[destination] = state
+        self._send_request(destination, state.rreq_id, state.attempts)
+        self._arm_timer(state)
+        return state
+
+    def _arm_timer(self, state: DiscoveryState) -> None:
+        state.timer = self._simulator.schedule_in(
+            self._timeout * state.attempts, lambda: self._on_timeout(state)
+        )
+
+    def _on_timeout(self, state: DiscoveryState) -> None:
+        if state.destination not in self._active:
+            return
+        if state.attempts >= self._max_attempts:
+            del self._active[state.destination]
+            self._give_up(state.destination)
+            return
+        state.attempts += 1
+        state.rreq_id = self.next_rreq_id()
+        self._send_request(state.destination, state.rreq_id, state.attempts)
+        self._arm_timer(state)
+
+    def complete(self, destination: NodeId) -> None:
+        """A route was found; cancel the retry timer."""
+        state = self._active.pop(destination, None)
+        if state is not None and state.timer is not None:
+            state.timer.cancel()

@@ -1,0 +1,333 @@
+"""DSR — Dynamic Source Routing (baseline).
+
+DSR (Johnson, Maltz, Hu & Jetcheva) builds complete hop-by-hop routes at the
+source: a flooded RREQ records the path it traverses, the destination (or a
+node with a cached route) returns that path in a RREP, and every data packet
+carries its full source route.  Packet paths are inherently loop-free.  The
+repository implements the features the paper's evaluation exercises: route
+caching at every node that overhears a path, *salvaging* (re-routing a packet
+from a relay's own cache when its next hop breaks), and route-error
+propagation removing broken links from caches.
+
+Under the paper's high-load scenario DSR's aggressive caching backfires — stale
+cached routes cause repeated MAC-layer failures (Fig. 3) and its delivery
+ratio collapses with mobility (Fig. 4), which this simplified implementation
+also exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..sim.packet import Packet
+from .base import PacketBuffer, ProtocolConfig, RoutingProtocol
+from .common import CONTROL_SIZES, DiscoveryController
+
+__all__ = ["DsrConfig", "DsrProtocol", "DsrRreq", "DsrRrep", "DsrRerr", "SourceRoute"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class SourceRoute:
+    """The source route carried by a data packet: the full node sequence."""
+
+    route: Tuple[NodeId, ...]
+    index: int = 0
+
+    @property
+    def next_hop(self) -> Optional[NodeId]:
+        """The next node after the current position, or None at the end."""
+        if self.index + 1 < len(self.route):
+            return self.route[self.index + 1]
+        return None
+
+    def advanced(self) -> "SourceRoute":
+        """The header as seen by the next hop."""
+        return replace(self, index=self.index + 1)
+
+
+@dataclass(frozen=True, slots=True)
+class DsrRreq:
+    """Route request accumulating the traversed path."""
+
+    source: NodeId
+    rreq_id: int
+    destination: NodeId
+    path: Tuple[NodeId, ...]
+    ttl: int = 64
+
+    def extended(self, node: NodeId) -> "DsrRreq":
+        return replace(self, path=self.path + (node,), ttl=self.ttl - 1)
+
+
+@dataclass(frozen=True, slots=True)
+class DsrRrep:
+    """Route reply carrying the complete source-to-destination path."""
+
+    source: NodeId
+    destination: NodeId
+    route: Tuple[NodeId, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class DsrRerr:
+    """Route error naming the broken link."""
+
+    from_node: NodeId
+    to_node: NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class DsrConfig(ProtocolConfig):
+    """DSR cache sizes and timers."""
+
+    discovery_timeout: float = 1.0
+    max_discovery_attempts: int = 3
+    buffer_size: int = 64
+    rreq_ttl: int = 64
+    max_cached_routes_per_destination: int = 4
+    max_salvage_count: int = 2
+
+
+class DsrProtocol(RoutingProtocol):
+    """One node's DSR instance."""
+
+    name = "DSR"
+
+    def __init__(self, config: Optional[DsrConfig] = None) -> None:
+        super().__init__()
+        self.config = config or DsrConfig()
+        self.route_cache: Dict[NodeId, List[Tuple[NodeId, ...]]] = {}
+        self.buffer = PacketBuffer(max_per_destination=self.config.buffer_size)
+        self.seen_rreqs: Set[Tuple[NodeId, int]] = set()
+        self.discovery: Optional[DiscoveryController] = None
+        self.data_drops = 0
+        self.salvage_counts: Dict[int, int] = {}
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def attach(self, node) -> None:
+        super().attach(node)
+        self.discovery = DiscoveryController(
+            node.simulator,
+            send_request=self._send_rreq,
+            give_up=self._discovery_failed,
+            timeout=self.config.discovery_timeout,
+            max_attempts=self.config.max_discovery_attempts,
+        )
+
+    # -- route cache --------------------------------------------------------------------
+
+    def cache_route(self, route: Tuple[NodeId, ...]) -> None:
+        """Remember every sub-path of ``route`` that starts at this node.
+
+        DSR's cache is effectively a link cache: a learned path provides a
+        route to every node that appears after us on it.
+        """
+        if len(route) < 2:
+            return
+        for start in range(len(route) - 1):
+            if route[start] != self.node_id:
+                continue
+            for end in range(start + 1, len(route)):
+                sub_route = route[start : end + 1]
+                destination = sub_route[-1]
+                cached = self.route_cache.setdefault(destination, [])
+                if sub_route in cached:
+                    continue
+                cached.append(sub_route)
+                cached.sort(key=len)
+                del cached[self.config.max_cached_routes_per_destination :]
+
+    def best_route(self, destination: NodeId) -> Optional[Tuple[NodeId, ...]]:
+        """The shortest cached route to ``destination``, if any."""
+        cached = self.route_cache.get(destination)
+        return cached[0] if cached else None
+
+    def remove_link(self, from_node: NodeId, to_node: NodeId) -> None:
+        """Purge every cached route using the broken link."""
+        for destination in list(self.route_cache):
+            remaining = [
+                route
+                for route in self.route_cache[destination]
+                if not self._route_uses_link(route, from_node, to_node)
+            ]
+            if remaining:
+                self.route_cache[destination] = remaining
+            else:
+                del self.route_cache[destination]
+
+    @staticmethod
+    def _route_uses_link(
+        route: Tuple[NodeId, ...], from_node: NodeId, to_node: NodeId
+    ) -> bool:
+        return any(
+            route[i] == from_node and route[i + 1] == to_node
+            for i in range(len(route) - 1)
+        )
+
+    # -- application data ---------------------------------------------------------------------
+
+    def originate_data(self, packet: Packet) -> None:
+        if self.deliver_or_forward_hook(packet):
+            return
+        route = self.best_route(packet.destination)
+        if route is not None:
+            self._send_along_route(packet, route)
+            return
+        if not self.buffer.push(packet):
+            self.data_drops += 1
+        self.discovery.begin(packet.destination)
+
+    def _send_along_route(self, packet: Packet, route: Tuple[NodeId, ...]) -> None:
+        header = SourceRoute(route=route, index=0)
+        packet.payload = header
+        next_hop = header.next_hop
+        if next_hop is None:
+            self.data_drops += 1
+            return
+        self.node.send_unicast(packet, next_hop)
+
+    # -- MAC callbacks ---------------------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet, from_node: NodeId) -> None:
+        if packet.is_data:
+            self._handle_data(packet, from_node)
+            return
+        payload = packet.payload
+        if isinstance(payload, DsrRreq):
+            self._handle_rreq(payload, from_node)
+        elif isinstance(payload, DsrRrep):
+            self._handle_rrep(payload, from_node)
+        elif isinstance(payload, DsrRerr):
+            self._handle_rerr(payload, from_node)
+
+    def _handle_data(self, packet: Packet, from_node: NodeId) -> None:
+        if packet.destination == self.node_id:
+            self.node.deliver_data(packet)
+            return
+        header = packet.payload
+        if not isinstance(header, SourceRoute):
+            self.data_drops += 1
+            return
+        forwarded = packet.copy_for_forwarding()
+        advanced = header.advanced()
+        forwarded.payload = advanced
+        next_hop = advanced.next_hop
+        if next_hop is None:
+            self.data_drops += 1
+            return
+        self.node.send_unicast(forwarded, next_hop)
+
+    def handle_link_failure(self, packet: Packet, next_hop: NodeId) -> None:
+        self.remove_link(self.node_id, next_hop)
+        if not packet.is_data:
+            return
+        # Salvaging: replace the failed route with one from our own cache.
+        salvaged = self.salvage_counts.get(packet.uid, 0)
+        route = self.best_route(packet.destination)
+        if route is not None and salvaged < self.config.max_salvage_count:
+            self.salvage_counts[packet.uid] = salvaged + 1
+            self._send_along_route(packet, route)
+        elif packet.source == self.node_id:
+            if not self.buffer.push(packet):
+                self.data_drops += 1
+            self.discovery.begin(packet.destination)
+        else:
+            self.data_drops += 1
+        # Tell the network about the broken link so caches converge.
+        rerr = DsrRerr(from_node=self.node_id, to_node=next_hop)
+        self.node.send_broadcast(
+            self.make_control_packet(packet.source, rerr, CONTROL_SIZES["rerr"])
+        )
+
+    # -- route discovery -------------------------------------------------------------------------------
+
+    def _send_rreq(self, destination: NodeId, rreq_id: int, attempt: int) -> None:
+        rreq = DsrRreq(
+            source=self.node_id,
+            rreq_id=rreq_id,
+            destination=destination,
+            path=(self.node_id,),
+            ttl=self.config.rreq_ttl,
+        )
+        self.seen_rreqs.add((self.node_id, rreq_id))
+        self.node.send_broadcast(
+            self.make_control_packet(destination, rreq, CONTROL_SIZES["rreq"])
+        )
+
+    def _discovery_failed(self, destination: NodeId) -> None:
+        self.data_drops += self.buffer.drop_all(destination)
+
+    def _handle_rreq(self, rreq: DsrRreq, from_node: NodeId) -> None:
+        key = (rreq.source, rreq.rreq_id)
+        if key in self.seen_rreqs or rreq.source == self.node_id or rreq.ttl <= 0:
+            return
+        if self.node_id in rreq.path:
+            return
+        self.seen_rreqs.add(key)
+        # Overhearing the accumulated path populates the route cache.
+        self.cache_route(tuple(reversed(rreq.path + (self.node_id,))))
+
+        extended = rreq.extended(self.node_id)
+        if rreq.destination == self.node_id:
+            rrep = DsrRrep(
+                source=rreq.source,
+                destination=self.node_id,
+                route=extended.path,
+            )
+            self._send_rrep(rrep, from_node)
+            return
+        cached = self.best_route(rreq.destination)
+        if cached is not None:
+            # Reply from cache: splice the accumulated path with the cached tail.
+            spliced = extended.path + cached[1:]
+            if len(set(spliced)) == len(spliced):  # avoid splicing a loop
+                rrep = DsrRrep(
+                    source=rreq.source, destination=rreq.destination, route=spliced
+                )
+                self._send_rrep(rrep, from_node)
+                return
+        if extended.ttl <= 0:
+            return
+        self.node.send_broadcast(
+            self.make_control_packet(rreq.destination, extended, CONTROL_SIZES["rreq"])
+        )
+
+    def _send_rrep(self, rrep: DsrRrep, next_hop: NodeId) -> None:
+        self.node.send_unicast(
+            self.make_control_packet(rrep.source, rrep, CONTROL_SIZES["rrep"]),
+            next_hop,
+        )
+
+    def _handle_rrep(self, rrep: DsrRrep, from_node: NodeId) -> None:
+        self.cache_route(rrep.route)
+        if rrep.source == self.node_id:
+            self.discovery.complete(rrep.destination)
+            route = self.best_route(rrep.destination)
+            if route is not None:
+                for packet in self.buffer.pop_all(rrep.destination):
+                    self._send_along_route(packet, route)
+            return
+        # Forward the RREP backwards along the recorded route.
+        try:
+            position = rrep.route.index(self.node_id)
+        except ValueError:
+            return
+        if position == 0:
+            return
+        self.node.send_unicast(
+            self.make_control_packet(rrep.source, rrep, CONTROL_SIZES["rrep"]),
+            rrep.route[position - 1],
+        )
+
+    def _handle_rerr(self, rerr: DsrRerr, from_node: NodeId) -> None:
+        self.remove_link(rerr.from_node, rerr.to_node)
+
+    # -- metrics -----------------------------------------------------------------------------------------
+
+    def sequence_number_metric(self) -> int:
+        """DSR has no sequence numbers (not plotted in Fig. 7)."""
+        return 0

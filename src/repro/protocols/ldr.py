@@ -1,0 +1,398 @@
+"""LDR — Loop-free Distance Routing (baseline, Garcia-Luna-Aceves, Mosko &
+Perkins, PODC 2003).
+
+LDR is the paper's closest relative: it keeps, per destination, a *feasible
+distance* (the smallest distance ever accepted, non-increasing over time) and a
+destination-controlled sequence number.  A node may only adopt a successor
+whose advertised route is **in order**: a strictly larger sequence number, or
+the same sequence number with a reported distance *smaller than the node's
+feasible distance*.  When the feasible distances along a request path cannot be
+put in order, the request carries a reset-required flag to the destination,
+which answers with a larger sequence number — so LDR's sequence numbers grow,
+but far more slowly than AODV's (Fig. 7), because most repairs succeed with
+feasible-distance ordering alone.
+
+SRP generalises exactly this scheme by making the "distance" a dense fraction
+that can always be split locally, removing the need for most resets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..sim.packet import Packet
+from .base import PacketBuffer, ProtocolConfig, RoutingProtocol
+from .common import CONTROL_SIZES, DiscoveryController
+
+__all__ = ["LdrConfig", "LdrProtocol", "LdrRreq", "LdrRrep", "LdrRerr"]
+
+NodeId = Hashable
+
+#: Feasible distance of a node that never had a route (anything is in order).
+INFINITE_DISTANCE = float("inf")
+
+
+@dataclass(frozen=True, slots=True)
+class LdrRreq:
+    """Route request carrying the requester's (sequence number, feasible distance)."""
+
+    source: NodeId
+    rreq_id: int
+    destination: NodeId
+    destination_sequence_number: int
+    feasible_distance: float
+    unknown: bool
+    reset_required: bool = False
+    hop_count: int = 0
+    ttl: int = 64
+
+    def relayed(self, *, reset_required: bool) -> "LdrRreq":
+        return replace(
+            self,
+            hop_count=self.hop_count + 1,
+            ttl=self.ttl - 1,
+            reset_required=reset_required,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LdrRrep:
+    """Route reply advertising (sequence number, distance) for the destination."""
+
+    source: NodeId
+    rreq_id: int
+    destination: NodeId
+    destination_sequence_number: int
+    distance: float
+
+    def relayed(self, *, distance: float) -> "LdrRrep":
+        return replace(self, distance=distance)
+
+
+@dataclass(frozen=True, slots=True)
+class LdrRerr:
+    """Route error listing destinations whose routes broke at the origin."""
+
+    unreachable: Tuple[NodeId, ...]
+
+
+@dataclass
+class LdrRouteEntry:
+    """Per-destination LDR state."""
+
+    destination: NodeId
+    sequence_number: int = 0
+    #: Non-increasing within a sequence number; reset when the sn increases.
+    feasible_distance: float = INFINITE_DISTANCE
+    distance: float = INFINITE_DISTANCE
+    next_hop: Optional[NodeId] = None
+    valid: bool = False
+    expires_at: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class LdrConfig(ProtocolConfig):
+    """LDR timers and limits."""
+
+    route_lifetime: float = 10.0
+    discovery_timeout: float = 1.0
+    max_discovery_attempts: int = 3
+    buffer_size: int = 64
+    rreq_ttl: int = 64
+    maintenance_interval: float = 1.0
+
+
+class LdrProtocol(RoutingProtocol):
+    """One node's LDR instance."""
+
+    name = "LDR"
+
+    def __init__(self, config: Optional[LdrConfig] = None) -> None:
+        super().__init__()
+        self.config = config or LdrConfig()
+        self.routes: Dict[NodeId, LdrRouteEntry] = {}
+        self.buffer = PacketBuffer(max_per_destination=self.config.buffer_size)
+        self.own_sequence_number = 0
+        self.seen_rreqs: Set[Tuple[NodeId, int]] = set()
+        self.reverse_path: Dict[Tuple[NodeId, int], NodeId] = {}
+        self.discovery: Optional[DiscoveryController] = None
+        self.data_drops = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def attach(self, node) -> None:
+        super().attach(node)
+        self.discovery = DiscoveryController(
+            node.simulator,
+            send_request=self._send_rreq,
+            give_up=self._discovery_failed,
+            timeout=self.config.discovery_timeout,
+            max_attempts=self.config.max_discovery_attempts,
+        )
+
+    def start(self) -> None:
+        self._schedule_maintenance()
+
+    def _schedule_maintenance(self) -> None:
+        def tick() -> None:
+            now = self.simulator.now
+            for entry in self.routes.values():
+                if entry.valid and entry.expires_at <= now:
+                    entry.valid = False
+            self._schedule_maintenance()
+
+        self.simulator.schedule_in(self.config.maintenance_interval, tick)
+
+    # -- table helpers -------------------------------------------------------------
+
+    def _entry(self, destination: NodeId) -> LdrRouteEntry:
+        if destination not in self.routes:
+            self.routes[destination] = LdrRouteEntry(destination)
+        return self.routes[destination]
+
+    def _valid_next_hop(self, destination: NodeId) -> Optional[NodeId]:
+        entry = self.routes.get(destination)
+        if entry and entry.valid and entry.expires_at > self.simulator.now:
+            return entry.next_hop
+        return None
+
+    def _in_order(
+        self, entry: LdrRouteEntry, sequence_number: int, distance: float
+    ) -> bool:
+        """The LDR feasibility condition for accepting an advertised route."""
+        if sequence_number > entry.sequence_number:
+            return True
+        if sequence_number < entry.sequence_number:
+            return False
+        return distance < entry.feasible_distance
+
+    def _accept_route(
+        self,
+        destination: NodeId,
+        next_hop: NodeId,
+        sequence_number: int,
+        distance: float,
+    ) -> bool:
+        entry = self._entry(destination)
+        if not self._in_order(entry, sequence_number, distance):
+            return False
+        if sequence_number > entry.sequence_number:
+            # A fresher sequence number resets the feasible distance.
+            entry.feasible_distance = distance
+        else:
+            entry.feasible_distance = min(entry.feasible_distance, distance)
+        entry.sequence_number = sequence_number
+        entry.distance = distance
+        entry.next_hop = next_hop
+        entry.valid = True
+        entry.expires_at = self.simulator.now + self.config.route_lifetime
+        return True
+
+    # -- application data -------------------------------------------------------------
+
+    def originate_data(self, packet: Packet) -> None:
+        if self.deliver_or_forward_hook(packet):
+            return
+        next_hop = self._valid_next_hop(packet.destination)
+        if next_hop is not None:
+            self._forward_data(packet, next_hop)
+            return
+        if not self.buffer.push(packet):
+            self.data_drops += 1
+        self.discovery.begin(packet.destination)
+
+    def _forward_data(self, packet: Packet, next_hop: NodeId) -> None:
+        entry = self.routes.get(packet.destination)
+        if entry is not None and entry.valid:
+            entry.expires_at = self.simulator.now + self.config.route_lifetime
+        self.node.send_unicast(packet, next_hop)
+
+    # -- MAC callbacks ---------------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet, from_node: NodeId) -> None:
+        if packet.is_data:
+            self._handle_data(packet, from_node)
+            return
+        payload = packet.payload
+        if isinstance(payload, LdrRreq):
+            self._handle_rreq(payload, from_node)
+        elif isinstance(payload, LdrRrep):
+            self._handle_rrep(payload, from_node)
+        elif isinstance(payload, LdrRerr):
+            self._handle_rerr(payload, from_node)
+
+    def _handle_data(self, packet: Packet, from_node: NodeId) -> None:
+        if self.deliver_or_forward_hook(packet):
+            return
+        next_hop = self._valid_next_hop(packet.destination)
+        if next_hop is None:
+            self.data_drops += 1
+            rerr = LdrRerr(unreachable=(packet.destination,))
+            self.node.send_unicast(
+                self.make_control_packet(from_node, rerr, CONTROL_SIZES["rerr"]),
+                from_node,
+            )
+            return
+        self._forward_data(packet.copy_for_forwarding(), next_hop)
+
+    def handle_link_failure(self, packet: Packet, next_hop: NodeId) -> None:
+        lost: List[NodeId] = []
+        for destination, entry in self.routes.items():
+            if entry.valid and entry.next_hop == next_hop:
+                entry.valid = False
+                lost.append(destination)
+        if packet.is_data and packet.source == self.node_id:
+            if not self.buffer.push(packet):
+                self.data_drops += 1
+            self.discovery.begin(packet.destination)
+        elif packet.is_data:
+            self.data_drops += 1
+        if lost:
+            self.node.send_broadcast(
+                self.make_control_packet(
+                    self.node_id, LdrRerr(tuple(lost)), CONTROL_SIZES["rerr"]
+                )
+            )
+
+    # -- route discovery --------------------------------------------------------------------
+
+    def _send_rreq(self, destination: NodeId, rreq_id: int, attempt: int) -> None:
+        entry = self.routes.get(destination)
+        rreq = LdrRreq(
+            source=self.node_id,
+            rreq_id=rreq_id,
+            destination=destination,
+            destination_sequence_number=entry.sequence_number if entry else 0,
+            feasible_distance=(
+                entry.feasible_distance if entry else INFINITE_DISTANCE
+            ),
+            unknown=entry is None,
+            ttl=self.config.rreq_ttl,
+        )
+        self.seen_rreqs.add((self.node_id, rreq_id))
+        self.node.send_broadcast(
+            self.make_control_packet(destination, rreq, CONTROL_SIZES["rreq"])
+        )
+
+    def _discovery_failed(self, destination: NodeId) -> None:
+        self.data_drops += self.buffer.drop_all(destination)
+
+    def _handle_rreq(self, rreq: LdrRreq, from_node: NodeId) -> None:
+        key = (rreq.source, rreq.rreq_id)
+        if key in self.seen_rreqs or rreq.source == self.node_id or rreq.ttl <= 0:
+            return
+        self.seen_rreqs.add(key)
+        self.reverse_path[key] = from_node
+
+        if rreq.destination == self.node_id:
+            # Destination-controlled reset: only bump the sequence number when
+            # the request says ordering cannot be repaired in place (or it
+            # already reflects our current number, so freshness is required).
+            if rreq.reset_required or (
+                not rreq.unknown
+                and rreq.destination_sequence_number >= self.own_sequence_number
+            ):
+                self.own_sequence_number = max(
+                    self.own_sequence_number + 1,
+                    rreq.destination_sequence_number + 1,
+                )
+            rrep = LdrRrep(
+                source=rreq.source,
+                rreq_id=rreq.rreq_id,
+                destination=self.node_id,
+                destination_sequence_number=self.own_sequence_number,
+                distance=0.0,
+            )
+            self._send_rrep(rrep, from_node)
+            return
+
+        entry = self.routes.get(rreq.destination)
+        can_answer = (
+            entry is not None
+            and entry.valid
+            and not rreq.reset_required
+            and (
+                rreq.unknown
+                or entry.sequence_number > rreq.destination_sequence_number
+                or (
+                    entry.sequence_number == rreq.destination_sequence_number
+                    and entry.distance < rreq.feasible_distance
+                )
+            )
+        )
+        if can_answer:
+            rrep = LdrRrep(
+                source=rreq.source,
+                rreq_id=rreq.rreq_id,
+                destination=rreq.destination,
+                destination_sequence_number=entry.sequence_number,
+                distance=entry.distance,
+            )
+            self._send_rrep(rrep, from_node)
+            return
+
+        # Out-of-order relays request a reset so the destination issues a
+        # fresher sequence number the whole path can adopt.
+        reset_required = rreq.reset_required
+        if (
+            entry is not None
+            and not rreq.unknown
+            and entry.sequence_number == rreq.destination_sequence_number
+            and entry.feasible_distance >= rreq.feasible_distance
+        ):
+            reset_required = True
+        relayed = rreq.relayed(reset_required=reset_required)
+        if relayed.ttl <= 0:
+            return
+        self.node.send_broadcast(
+            self.make_control_packet(rreq.destination, relayed, CONTROL_SIZES["rreq"])
+        )
+
+    def _send_rrep(self, rrep: LdrRrep, next_hop: NodeId) -> None:
+        self.node.send_unicast(
+            self.make_control_packet(rrep.source, rrep, CONTROL_SIZES["rrep"]),
+            next_hop,
+        )
+
+    def _handle_rrep(self, rrep: LdrRrep, from_node: NodeId) -> None:
+        accepted = self._accept_route(
+            rrep.destination,
+            from_node,
+            rrep.destination_sequence_number,
+            rrep.distance + 1.0,
+        )
+        if rrep.source == self.node_id:
+            if accepted:
+                self.discovery.complete(rrep.destination)
+                next_hop = self._valid_next_hop(rrep.destination)
+                if next_hop is not None:
+                    for packet in self.buffer.pop_all(rrep.destination):
+                        self._forward_data(packet, next_hop)
+            return
+        if not accepted:
+            return
+        reverse_hop = self.reverse_path.get((rrep.source, rrep.rreq_id))
+        if reverse_hop is not None:
+            entry = self.routes[rrep.destination]
+            self._send_rrep(rrep.relayed(distance=entry.distance), reverse_hop)
+
+    def _handle_rerr(self, rerr: LdrRerr, from_node: NodeId) -> None:
+        lost: List[NodeId] = []
+        for destination in rerr.unreachable:
+            entry = self.routes.get(destination)
+            if entry is not None and entry.valid and entry.next_hop == from_node:
+                entry.valid = False
+                lost.append(destination)
+        if lost:
+            self.node.send_broadcast(
+                self.make_control_packet(
+                    self.node_id, LdrRerr(tuple(lost)), CONTROL_SIZES["rerr"]
+                )
+            )
+
+    # -- metrics ------------------------------------------------------------------------------------
+
+    def sequence_number_metric(self) -> int:
+        """Fig. 7: LDR's sequence number grows only on destination resets."""
+        return self.own_sequence_number

@@ -1,0 +1,214 @@
+"""The shared wireless channel: unit-disk propagation with collisions.
+
+The channel is the meeting point of every node's MAC: when a MAC transmits a
+frame, the channel determines (from current mobility positions) which nodes
+are in reception range, starts a *reception* at each of them, and marks
+receptions as collided when they overlap in time at the same receiver or when
+the receiver is itself transmitting (half-duplex).  At the end of the air time
+each un-collided reception is delivered to the receiver's MAC, and the sender
+is told whether its intended unicast receiver got the frame — the link-layer
+loss signal the routing protocols rely on (the paper: "link-layer unicast loss
+detection, without hello packets").
+
+Carrier sensing queries ask whether any transmission is in progress within the
+carrier-sense range of a prospective sender.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Protocol
+
+from .engine import Simulator
+from .packet import Frame
+from .phy import PhyConfig
+
+__all__ = ["Channel", "ChannelStats", "RadioListener"]
+
+NodeId = Hashable
+
+
+class RadioListener(Protocol):
+    """What the channel needs from an attached node (implemented by the MAC)."""
+
+    node_id: NodeId
+
+    def position(self) -> "tuple[float, float]":
+        """Current (x, y) position in metres."""
+
+    def is_transmitting(self) -> bool:
+        """True while the node's own radio is sending."""
+
+    def radio_receive(self, frame: Frame, transmitter: NodeId) -> None:
+        """Deliver a successfully received frame."""
+
+
+@dataclass
+class _Transmission:
+    """One frame in flight."""
+
+    frame: Frame
+    transmitter: NodeId
+    start: float
+    end: float
+    position: "tuple[float, float]"
+
+
+@dataclass
+class _Reception:
+    """One frame arriving at one receiver."""
+
+    frame: Frame
+    transmitter: NodeId
+    receiver: NodeId
+    start: float
+    end: float
+    collided: bool = False
+
+
+@dataclass
+class ChannelStats:
+    """Channel-wide counters (collision accounting feeds Fig. 3)."""
+
+    transmissions: int = 0
+    receptions_started: int = 0
+    receptions_delivered: int = 0
+    collisions: int = 0
+
+
+class Channel:
+    """The shared medium connecting every attached MAC."""
+
+    def __init__(self, simulator: Simulator, phy: PhyConfig) -> None:
+        self._simulator = simulator
+        self._phy = phy
+        self._listeners: Dict[NodeId, RadioListener] = {}
+        self._active_transmissions: List[_Transmission] = []
+        self._active_receptions: Dict[NodeId, List[_Reception]] = {}
+        self.stats = ChannelStats()
+
+    # -- membership -------------------------------------------------------------
+
+    def attach(self, listener: RadioListener) -> None:
+        """Register a node's MAC with the channel."""
+        self._listeners[listener.node_id] = listener
+        self._active_receptions.setdefault(listener.node_id, [])
+
+    @property
+    def phy(self) -> PhyConfig:
+        """The shared physical-layer configuration."""
+        return self._phy
+
+    # -- geometry -----------------------------------------------------------------
+
+    @staticmethod
+    def _distance(a: "tuple[float, float]", b: "tuple[float, float]") -> float:
+        dx, dy = a[0] - b[0], a[1] - b[1]
+        return (dx * dx + dy * dy) ** 0.5
+
+    def neighbors_of(self, node_id: NodeId) -> List[NodeId]:
+        """Nodes currently within reception range of ``node_id``."""
+        origin = self._listeners[node_id].position()
+        result = []
+        for other_id, listener in self._listeners.items():
+            if other_id == node_id:
+                continue
+            if self._distance(origin, listener.position()) <= self._phy.reception_range:
+                result.append(other_id)
+        return result
+
+    def in_range(self, a: NodeId, b: NodeId) -> bool:
+        """True when nodes ``a`` and ``b`` can currently hear each other."""
+        return (
+            self._distance(
+                self._listeners[a].position(), self._listeners[b].position()
+            )
+            <= self._phy.reception_range
+        )
+
+    # -- carrier sense ---------------------------------------------------------------
+
+    def is_busy_near(self, node_id: NodeId) -> bool:
+        """True when a transmission is in progress within carrier-sense range."""
+        now = self._simulator.now
+        position = self._listeners[node_id].position()
+        self._prune(now)
+        for transmission in self._active_transmissions:
+            if transmission.end <= now:
+                continue
+            if (
+                self._distance(position, transmission.position)
+                <= self._phy.carrier_sense_range
+            ):
+                return True
+        return False
+
+    def _prune(self, now: float) -> None:
+        self._active_transmissions = [
+            t for t in self._active_transmissions if t.end > now
+        ]
+
+    # -- transmission ---------------------------------------------------------------
+
+    def transmit(
+        self,
+        transmitter: NodeId,
+        frame: Frame,
+        on_complete: Optional[Callable[[bool], None]] = None,
+    ) -> float:
+        """Put ``frame`` on the air from ``transmitter``.
+
+        Returns the air time.  ``on_complete`` (used for unicast frames) is
+        called at the end of the transmission with ``True`` when the intended
+        receiver decoded the frame successfully — the idealised 802.11 ACK.
+        """
+        now = self._simulator.now
+        duration = self._phy.transmission_time(frame)
+        sender = self._listeners[transmitter]
+        origin = sender.position()
+
+        transmission = _Transmission(frame, transmitter, now, now + duration, origin)
+        self._active_transmissions.append(transmission)
+        self.stats.transmissions += 1
+
+        receptions: List[_Reception] = []
+        for receiver_id, listener in self._listeners.items():
+            if receiver_id == transmitter:
+                continue
+            if self._distance(origin, listener.position()) > self._phy.reception_range:
+                continue
+            reception = _Reception(
+                frame, transmitter, receiver_id, now, now + duration
+            )
+            self.stats.receptions_started += 1
+            # Half-duplex: a node that is itself transmitting cannot receive.
+            if listener.is_transmitting():
+                reception.collided = True
+            # Overlap with any reception already in progress collides both.
+            for other in self._active_receptions[receiver_id]:
+                if other.end > now:
+                    other.collided = True
+                    reception.collided = True
+            self._active_receptions[receiver_id].append(reception)
+            receptions.append(reception)
+
+        def finish() -> None:
+            delivered_to_target = False
+            for reception in receptions:
+                active = self._active_receptions[reception.receiver]
+                if reception in active:
+                    active.remove(reception)
+                if reception.collided:
+                    self.stats.collisions += 1
+                    continue
+                self.stats.receptions_delivered += 1
+                self._listeners[reception.receiver].radio_receive(
+                    frame, transmitter
+                )
+                if not frame.is_broadcast and reception.receiver == frame.receiver:
+                    delivered_to_target = True
+            if on_complete is not None:
+                on_complete(delivered_to_target)
+
+        self._simulator.schedule_in(duration, finish, priority=1)
+        return duration

@@ -1,0 +1,196 @@
+"""A simplified CSMA/CA MAC with retries and link-layer loss reporting.
+
+The MAC models the parts of 802.11 DCF the paper's evaluation depends on:
+
+* a drop-tail interface queue of bounded length,
+* carrier sensing with random binary-exponential backoff,
+* unicast frames that are retried up to a retry limit and reported to the
+  routing protocol as a *link failure* when every retry fails (the paper's
+  protocols — SRP, AODV, DSR, LDR — all use link-layer unicast loss detection
+  instead of hello packets),
+* broadcast frames sent once with a small random jitter and no retries, and
+* per-node MAC drop counters (queue overflows plus retry exhaustion), the
+  metric plotted in Fig. 3.
+
+Collisions themselves are decided by the :class:`~repro.sim.channel.Channel`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Hashable, Optional
+
+from .channel import Channel
+from .engine import Simulator
+from .packet import Frame, Packet
+
+__all__ = ["Mac", "MacStats"]
+
+NodeId = Hashable
+
+#: Callback signature used to hand received packets up to the routing layer.
+ReceiveHandler = Callable[[Packet, NodeId], None]
+#: Callback signature for unicast loss: (packet, intended next hop).
+FailureHandler = Callable[[Packet, NodeId], None]
+
+
+@dataclass
+class MacStats:
+    """Per-node MAC counters."""
+
+    enqueued: int = 0
+    transmitted_frames: int = 0
+    delivered_unicasts: int = 0
+    queue_drops: int = 0
+    retry_drops: int = 0
+    retries: int = 0
+
+    @property
+    def drops(self) -> int:
+        """Total MAC-layer drops (queue overflow + retry exhaustion) — Fig. 3."""
+        return self.queue_drops + self.retry_drops
+
+
+class Mac:
+    """One node's MAC instance; also the channel's :class:`RadioListener`."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        simulator: Simulator,
+        channel: Channel,
+        rng: random.Random,
+        *,
+        position_provider: Callable[[], "tuple[float, float]"],
+    ) -> None:
+        self.node_id = node_id
+        self._simulator = simulator
+        self._channel = channel
+        self._rng = rng
+        self._position_provider = position_provider
+        self._phy = channel.phy
+        self._queue: Deque[Frame] = deque()
+        self._busy = False
+        self._transmitting_until = 0.0
+        self._receive_handler: Optional[ReceiveHandler] = None
+        self._failure_handler: Optional[FailureHandler] = None
+        self.stats = MacStats()
+        channel.attach(self)
+
+    # -- wiring --------------------------------------------------------------------
+
+    def set_handlers(
+        self, on_receive: ReceiveHandler, on_failure: FailureHandler
+    ) -> None:
+        """Install the routing layer's receive and link-failure callbacks."""
+        self._receive_handler = on_receive
+        self._failure_handler = on_failure
+
+    # -- RadioListener interface ------------------------------------------------------
+
+    def position(self) -> "tuple[float, float]":
+        """Current node position, supplied by the owning node's mobility model."""
+        return self._position_provider()
+
+    def is_transmitting(self) -> bool:
+        """True while this radio is on the air (half-duplex check)."""
+        return self._simulator.now < self._transmitting_until
+
+    def radio_receive(self, frame: Frame, transmitter: NodeId) -> None:
+        """Called by the channel for each successfully decoded frame."""
+        if frame.is_broadcast or frame.receiver == self.node_id:
+            if self._receive_handler is not None:
+                self._receive_handler(frame.packet, transmitter)
+
+    # -- transmit path -------------------------------------------------------------------
+
+    def send(self, packet: Packet, next_hop: Optional[NodeId]) -> None:
+        """Queue ``packet`` for transmission to ``next_hop`` (``None`` = broadcast)."""
+        if len(self._queue) >= self._phy.max_queue_length:
+            self.stats.queue_drops += 1
+            return
+        frame = Frame(
+            packet=packet,
+            transmitter=self.node_id,
+            receiver=next_hop,
+            enqueued_at=self._simulator.now,
+        )
+        self._queue.append(frame)
+        self.stats.enqueued += 1
+        self._try_dequeue()
+
+    @property
+    def queue_length(self) -> int:
+        """Frames currently waiting for the channel."""
+        return len(self._queue)
+
+    def _try_dequeue(self) -> None:
+        if self._busy or not self._queue:
+            return
+        self._busy = True
+        frame = self._queue[0]
+        self._attempt(frame, attempt=0)
+
+    def _attempt(self, frame: Frame, attempt: int) -> None:
+        if self._channel.is_busy_near(self.node_id):
+            self._defer(frame, attempt)
+            return
+        # Random pre-transmission jitter breaks synchronisation of broadcast
+        # floods (every node relaying the same RREQ at the same instant).
+        jitter_slots = self._rng.randint(0, self._contention_window(attempt))
+        delay = jitter_slots * self._phy.slot_time_s
+        self._simulator.schedule_in(delay, lambda: self._transmit(frame, attempt))
+
+    def _defer(self, frame: Frame, attempt: int) -> None:
+        backoff_slots = self._rng.randint(1, self._contention_window(attempt))
+        delay = backoff_slots * self._phy.slot_time_s
+        self._simulator.schedule_in(delay, lambda: self._attempt(frame, attempt))
+
+    def _contention_window(self, attempt: int) -> int:
+        window = self._phy.min_contention_window * (2**attempt)
+        return min(window, self._phy.max_contention_window)
+
+    def _transmit(self, frame: Frame, attempt: int) -> None:
+        if self._channel.is_busy_near(self.node_id):
+            self._defer(frame, attempt)
+            return
+        duration = self._phy.transmission_time(frame)
+        self._transmitting_until = self._simulator.now + duration
+        self.stats.transmitted_frames += 1
+        frame.packet.hops += 1
+        if attempt > 0:
+            self.stats.retries += 1
+
+        if frame.is_broadcast:
+            self._channel.transmit(self.node_id, frame)
+            self._finish_frame()
+            return
+
+        def on_complete(success: bool) -> None:
+            if success:
+                self.stats.delivered_unicasts += 1
+                self._finish_frame()
+            elif attempt + 1 <= self._phy.retry_limit:
+                self._attempt(frame, attempt + 1)
+            else:
+                self.stats.retry_drops += 1
+                self._finish_frame()
+                if self._failure_handler is not None:
+                    self._failure_handler(frame.packet, frame.receiver)
+
+        self._channel.transmit(self.node_id, frame, on_complete)
+
+    def _finish_frame(self) -> None:
+        """The head-of-line frame is done (delivered, dropped, or broadcast)."""
+
+        def proceed() -> None:
+            if self._queue:
+                self._queue.popleft()
+            self._busy = False
+            self._try_dequeue()
+
+        # Wait out our own air time before starting the next frame.
+        remaining = max(self._transmitting_until - self._simulator.now, 0.0)
+        self._simulator.schedule_in(remaining, proceed, priority=2)

@@ -1,0 +1,157 @@
+"""Node mobility models.
+
+The paper models mobility with the random-waypoint pattern: each node picks a
+uniform random destination in the terrain, moves toward it at a uniform random
+speed in ``[min_speed, max_speed]`` (0–20 m/s in the paper), pauses for the
+configured *pause time*, then repeats.  A pause time of 900 s over a 900 s
+simulation is effectively a static network; a pause time of 0 s is constant
+mobility.
+
+Models are *trace-like*: the full movement schedule is generated lazily but
+deterministically from the trial's mobility random stream, so the same
+:class:`RandomWaypointMobility` object (or another built from the same seed)
+gives identical positions to every protocol in a trial — mirroring the paper's
+off-line generated mobility scripts.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import List
+
+from .space import Position, Terrain
+
+__all__ = [
+    "MobilityModel",
+    "StaticMobility",
+    "RandomWaypointMobility",
+    "Waypoint",
+]
+
+
+class MobilityModel(abc.ABC):
+    """Interface: position of one node as a function of simulation time."""
+
+    @abc.abstractmethod
+    def position_at(self, time: float) -> Position:
+        """The node's position at simulation time ``time`` (seconds)."""
+
+
+@dataclass(frozen=True, slots=True)
+class StaticMobility(MobilityModel):
+    """A node that never moves."""
+
+    position: Position
+
+    def position_at(self, time: float) -> Position:
+        return self.position
+
+
+@dataclass(frozen=True, slots=True)
+class Waypoint:
+    """One leg of a random-waypoint trace.
+
+    The node sits at ``start`` from ``start_time`` until ``depart_time``
+    (the pause), then moves in a straight line, arriving at ``end`` at
+    ``arrival_time``.
+    """
+
+    start_time: float
+    depart_time: float
+    arrival_time: float
+    start: Position
+    end: Position
+
+    def position_at(self, time: float) -> Position:
+        if time <= self.depart_time:
+            return self.start
+        if time >= self.arrival_time:
+            return self.end
+        travel = self.arrival_time - self.depart_time
+        fraction = (time - self.depart_time) / travel if travel > 0 else 1.0
+        return self.start.interpolate(self.end, fraction)
+
+
+class RandomWaypointMobility(MobilityModel):
+    """The random-waypoint model with pause time, as used in the paper.
+
+    The trace is extended on demand (and cached) so querying positions is
+    O(log n) in the number of generated legs via binary search over arrival
+    times; identical seeds produce identical traces.
+    """
+
+    def __init__(
+        self,
+        terrain: Terrain,
+        rng: random.Random,
+        *,
+        min_speed: float = 0.0,
+        max_speed: float = 20.0,
+        pause_time: float = 0.0,
+        initial_position: Position | None = None,
+    ) -> None:
+        if max_speed <= 0:
+            raise ValueError("max_speed must be positive")
+        if min_speed < 0 or min_speed > max_speed:
+            raise ValueError("min_speed must be within [0, max_speed]")
+        if pause_time < 0:
+            raise ValueError("pause_time must be non-negative")
+        self._terrain = terrain
+        self._rng = rng
+        self._min_speed = min_speed
+        self._max_speed = max_speed
+        self._pause_time = pause_time
+        start = initial_position or terrain.random_position(rng)
+        self._legs: List[Waypoint] = []
+        self._append_leg(start_time=0.0, start=start)
+
+    # -- trace construction -------------------------------------------------------
+
+    def _append_leg(self, start_time: float, start: Position) -> None:
+        destination = self._terrain.random_position(self._rng)
+        # The paper's speeds are uniform in [0, 20] m/s; avoid the degenerate
+        # zero speed (a node that never arrives) by flooring at a small value.
+        speed = max(self._rng.uniform(self._min_speed, self._max_speed), 0.1)
+        depart_time = start_time + self._pause_time
+        # A degenerate waypoint (destination equal to the current position)
+        # with zero pause would make the leg take no time at all and the trace
+        # extension loop would never advance; give every leg a minimal duration.
+        travel_time = max(start.distance_to(destination) / speed, 1e-3)
+        self._legs.append(
+            Waypoint(
+                start_time=start_time,
+                depart_time=depart_time,
+                arrival_time=depart_time + travel_time,
+                start=start,
+                end=destination,
+            )
+        )
+
+    def _extend_until(self, time: float) -> None:
+        while self._legs[-1].arrival_time < time:
+            last = self._legs[-1]
+            self._append_leg(start_time=last.arrival_time, start=last.end)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def position_at(self, time: float) -> Position:
+        if time < 0:
+            raise ValueError("time must be non-negative")
+        self._extend_until(time)
+        legs = self._legs
+        # Binary search for the leg containing `time`.
+        low, high = 0, len(legs) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if legs[mid].arrival_time < time:
+                low = mid + 1
+            else:
+                high = mid
+        return legs[low].position_at(time)
+
+    @property
+    def pause_time(self) -> float:
+        """The configured pause time in seconds."""
+        return self._pause_time

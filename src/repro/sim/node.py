@@ -1,0 +1,98 @@
+"""A simulated wireless node: mobility + MAC + routing protocol + applications.
+
+The node is mostly glue: it owns a mobility model, a MAC instance attached to
+the shared channel, and a routing-protocol instance.  Application traffic
+(the CBR flow agents in :mod:`repro.workloads.cbr`) calls
+:meth:`Node.originate_data`; the routing protocol eventually calls back into
+:meth:`Node.deliver_data` at the destination, which records delivery and
+latency in the trial statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, TYPE_CHECKING
+
+from .engine import Simulator
+from .mac import Mac
+from .mobility import MobilityModel
+from .packet import Packet, PacketKind
+from .stats import TrialStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..protocols.base import RoutingProtocol
+
+__all__ = ["Node"]
+
+NodeId = Hashable
+
+
+class Node:
+    """One wireless node participating in a trial."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        simulator: Simulator,
+        mobility: MobilityModel,
+        mac: Mac,
+        stats: TrialStats,
+    ) -> None:
+        self.node_id = node_id
+        self.simulator = simulator
+        self.mobility = mobility
+        self.mac = mac
+        self.stats = stats
+        self.protocol: Optional["RoutingProtocol"] = None
+
+    # -- wiring -----------------------------------------------------------------------
+
+    def attach_protocol(self, protocol: "RoutingProtocol") -> None:
+        """Install the routing protocol and connect it to the MAC callbacks."""
+        self.protocol = protocol
+        protocol.attach(self)
+        self.mac.set_handlers(protocol.handle_packet, protocol.handle_link_failure)
+
+    # -- geometry ----------------------------------------------------------------------
+
+    def position(self) -> "tuple[float, float]":
+        """Current (x, y) position from the mobility model."""
+        point = self.mobility.position_at(self.simulator.now)
+        return (point.x, point.y)
+
+    # -- application data path ------------------------------------------------------------
+
+    def originate_data(
+        self, destination: NodeId, size_bytes: int, flow_id: Optional[int] = None
+    ) -> None:
+        """Create one application data packet and hand it to the routing protocol."""
+        if self.protocol is None:
+            raise RuntimeError(f"node {self.node_id!r} has no routing protocol")
+        packet = Packet(
+            kind=PacketKind.DATA,
+            source=self.node_id,
+            destination=destination,
+            size_bytes=size_bytes,
+            created_at=self.simulator.now,
+            flow_id=flow_id,
+        )
+        self.stats.record_data_sent()
+        self.protocol.originate_data(packet)
+
+    def deliver_data(self, packet: Packet) -> None:
+        """Called by the routing protocol when a data packet reaches this node."""
+        latency = self.simulator.now - packet.created_at
+        self.stats.record_data_delivered(packet.uid, latency)
+
+    # -- transmission helpers used by protocols ----------------------------------------------
+
+    def send_unicast(self, packet: Packet, next_hop: NodeId) -> None:
+        """Transmit ``packet`` to a specific neighbour (with MAC retries)."""
+        if packet.is_control:
+            self.stats.record_control_transmission()
+        self.mac.send(packet, next_hop)
+
+    def send_broadcast(self, packet: Packet) -> None:
+        """Transmit ``packet`` to every neighbour in range (no retries)."""
+        if packet.is_control:
+            self.stats.record_control_transmission()
+        self.mac.send(packet, None)

@@ -1,0 +1,136 @@
+"""Simulation-wide statistics collection.
+
+The collectors gather exactly the quantities the paper's evaluation reports:
+
+* **delivery ratio** — CBR packets received / CBR packets sent (Fig. 4, Table I)
+* **network load** — control packets transmitted / CBR packets received
+  (Fig. 5, Table I)
+* **data latency** — mean end-to-end lifetime of delivered CBR packets
+  (Fig. 6, Table I)
+* **MAC drops** — average per-node MAC-layer drops (Fig. 3)
+* **average node sequence number** — per-protocol accounting (Fig. 7)
+
+Control transmissions are counted per MAC transmission (so a flooded RREQ
+relayed by 50 nodes counts 50 times), matching the conventional definition of
+normalised routing overhead the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+__all__ = ["TrialStats", "TrialSummary"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class TrialSummary:
+    """The headline metrics of one simulation trial."""
+
+    data_sent: int
+    data_delivered: int
+    control_transmissions: int
+    mean_latency: float
+    mac_drops_per_node: float
+    average_sequence_number: float
+    duplicate_deliveries: int
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / sent CBR packets; 0 when nothing was sent."""
+        if self.data_sent == 0:
+            return 0.0
+        return self.data_delivered / self.data_sent
+
+    @property
+    def network_load(self) -> float:
+        """Control transmissions per delivered CBR packet.
+
+        When nothing is delivered the load is reported per *sent* packet so a
+        catastrophically failing protocol still gets a finite, large number.
+        """
+        if self.data_delivered > 0:
+            return self.control_transmissions / self.data_delivered
+        if self.data_sent > 0:
+            return float(self.control_transmissions) / self.data_sent
+        return 0.0
+
+
+class TrialStats:
+    """Mutable counters filled in while one trial runs."""
+
+    def __init__(self) -> None:
+        self.data_sent = 0
+        self.data_delivered = 0
+        self.duplicate_deliveries = 0
+        self.control_transmissions = 0
+        self.latencies: List[float] = []
+        self.mac_drops_by_node: Dict[NodeId, int] = {}
+        self.sequence_numbers_by_node: Dict[NodeId, int] = {}
+        self._delivered_uids: set = set()
+
+    # -- data path ------------------------------------------------------------------
+
+    def record_data_sent(self) -> None:
+        """A CBR source originated one data packet."""
+        self.data_sent += 1
+
+    def record_data_delivered(self, uid: int, latency: float) -> None:
+        """A data packet reached its destination.
+
+        Deliveries of a uid already seen are counted as duplicates and excluded
+        from the delivery ratio and the latency average, as in the paper's
+        per-packet accounting.
+        """
+        if uid in self._delivered_uids:
+            self.duplicate_deliveries += 1
+            return
+        self._delivered_uids.add(uid)
+        self.data_delivered += 1
+        self.latencies.append(latency)
+
+    # -- control path -------------------------------------------------------------------
+
+    def record_control_transmission(self) -> None:
+        """One routing-protocol packet was put on the air (origination or relay)."""
+        self.control_transmissions += 1
+
+    # -- per-node roll-ups -----------------------------------------------------------------
+
+    def record_mac_drops(self, node_id: NodeId, drops: int) -> None:
+        """Final MAC drop count of one node (queue overflow + retry exhaustion)."""
+        self.mac_drops_by_node[node_id] = drops
+
+    def record_sequence_number(self, node_id: NodeId, sequence_number: int) -> None:
+        """Final protocol sequence-number growth at one node (Fig. 7)."""
+        self.sequence_numbers_by_node[node_id] = sequence_number
+
+    # -- summary -------------------------------------------------------------------------------
+
+    def summary(self) -> TrialSummary:
+        """Freeze the counters into an immutable summary."""
+        mean_latency = (
+            sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+        )
+        mac_drops = (
+            sum(self.mac_drops_by_node.values()) / len(self.mac_drops_by_node)
+            if self.mac_drops_by_node
+            else 0.0
+        )
+        average_sequence_number = (
+            sum(self.sequence_numbers_by_node.values())
+            / len(self.sequence_numbers_by_node)
+            if self.sequence_numbers_by_node
+            else 0.0
+        )
+        return TrialSummary(
+            data_sent=self.data_sent,
+            data_delivered=self.data_delivered,
+            control_transmissions=self.control_transmissions,
+            mean_latency=mean_latency,
+            mac_drops_per_node=mac_drops,
+            average_sequence_number=average_sequence_number,
+            duplicate_deliveries=self.duplicate_deliveries,
+        )

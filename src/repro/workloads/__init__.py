@@ -1,0 +1,13 @@
+"""Workload generation: CBR traffic and the paper's evaluation scenarios."""
+
+from .cbr import CbrFlow, CbrTrafficManager
+from .scenario import PAPER_PAUSE_TIMES, PAPER_SCENARIO, Scenario, scaled_scenario
+
+__all__ = [
+    "CbrFlow",
+    "CbrTrafficManager",
+    "PAPER_PAUSE_TIMES",
+    "PAPER_SCENARIO",
+    "Scenario",
+    "scaled_scenario",
+]

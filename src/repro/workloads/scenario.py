@@ -1,0 +1,114 @@
+"""Scenario definitions: the evaluation setup of Section V of the paper.
+
+A :class:`Scenario` captures everything that is *shared* between protocols in
+one trial: terrain size, node count, mobility parameters (speed range and
+pause time), the CBR traffic shape and the trial seed.  The same scenario fed
+to different protocols yields identical mobility traces and traffic schedules
+because both are generated from named random streams derived only from the
+trial seed — this mirrors the paper's off-line generated mobility and packet
+scripts.
+
+``PAPER_SCENARIO`` holds the full parameters from the paper (100 nodes on a
+2200 m x 600 m terrain, 30 CBR flows of 512-byte packets at 4 packets/s over a
+2 Mbps channel, pause times 0–900 s over a 900 s simulation).
+``scaled_scenario`` derives laptop-sized versions with the same structure for
+tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from ..sim.phy import PhyConfig
+from ..sim.space import Terrain
+
+__all__ = ["Scenario", "PAPER_SCENARIO", "PAPER_PAUSE_TIMES", "scaled_scenario"]
+
+#: The eight pause times of the paper's evaluation (seconds).
+PAPER_PAUSE_TIMES: Tuple[float, ...] = (0, 50, 100, 200, 300, 500, 700, 900)
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """Parameters shared by every protocol in one trial."""
+
+    node_count: int = 100
+    terrain_width: float = 2200.0
+    terrain_height: float = 600.0
+    duration: float = 900.0
+    # Mobility (random waypoint).
+    min_speed: float = 0.0
+    max_speed: float = 20.0
+    pause_time: float = 0.0
+    # Traffic (CBR).
+    flow_count: int = 30
+    packets_per_second: float = 4.0
+    packet_size_bytes: int = 512
+    mean_flow_duration: float = 60.0
+    # Radio.
+    phy: PhyConfig = field(default_factory=PhyConfig)
+    # Reproducibility.
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.node_count < 2:
+            raise ValueError("a scenario needs at least two nodes")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.flow_count < 0:
+            raise ValueError("flow_count must be non-negative")
+        if self.packets_per_second <= 0:
+            raise ValueError("packets_per_second must be positive")
+
+    @property
+    def terrain(self) -> Terrain:
+        """The rectangular simulation area."""
+        return Terrain(self.terrain_width, self.terrain_height)
+
+    def with_pause_time(self, pause_time: float) -> "Scenario":
+        """The same scenario at a different mobility pause time."""
+        return replace(self, pause_time=pause_time)
+
+    def with_seed(self, seed: int) -> "Scenario":
+        """The same scenario under a different trial seed."""
+        return replace(self, seed=seed)
+
+    @property
+    def offered_load_pps(self) -> float:
+        """Aggregate CBR sending rate (packets per second network-wide)."""
+        return self.flow_count * self.packets_per_second
+
+
+#: The paper's full-scale evaluation scenario (100 nodes, 30 flows, 900 s).
+PAPER_SCENARIO = Scenario()
+
+
+def scaled_scenario(
+    *,
+    node_count: int = 30,
+    flow_count: int = 8,
+    duration: float = 120.0,
+    pause_time: float = 0.0,
+    seed: int = 1,
+    terrain_width: float = 1200.0,
+    terrain_height: float = 400.0,
+    max_speed: float = 20.0,
+) -> Scenario:
+    """A laptop-sized scenario with the same structure as the paper's.
+
+    The density (nodes per unit area relative to radio range) and the offered
+    load per node are kept in the same regime so qualitative protocol
+    behaviour — route breaks under mobility, contention under load — is
+    preserved while a trial finishes in seconds.
+    """
+    return Scenario(
+        node_count=node_count,
+        terrain_width=terrain_width,
+        terrain_height=terrain_height,
+        duration=duration,
+        pause_time=pause_time,
+        flow_count=flow_count,
+        max_speed=max_speed,
+        seed=seed,
+    )

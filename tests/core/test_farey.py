@@ -1,0 +1,155 @@
+"""Tests for the Farey / Stern-Brocot utilities (the paper's future-work idea)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.farey import (
+    FareyNode,
+    enumerate_tree,
+    farey_parents,
+    farey_sequence,
+    fraction_from_path,
+    mediant_is_reduced,
+    simplest_between,
+    stern_brocot_path,
+)
+from repro.core.fractions import ProperFraction
+
+
+def reduced_interior_fractions(max_den: int = 60):
+    """Reduced fractions strictly between 0 and 1."""
+
+    def build(d, m):
+        m = m % (d - 1) + 1 if d > 1 else 1
+        g = math.gcd(m, d)
+        return ProperFraction(m // g, d // g)
+
+    return st.builds(
+        build,
+        st.integers(min_value=2, max_value=max_den),
+        st.integers(min_value=0, max_value=max_den),
+    )
+
+
+class TestFareySequence:
+    def test_f1(self):
+        assert farey_sequence(1) == [ProperFraction(0, 1), ProperFraction(1, 1)]
+
+    def test_f5_matches_known_sequence(self):
+        expected = [
+            (0, 1), (1, 5), (1, 4), (1, 3), (2, 5), (1, 2),
+            (3, 5), (2, 3), (3, 4), (4, 5), (1, 1),
+        ]
+        assert [f.as_tuple() for f in farey_sequence(5)] == expected
+
+    def test_sequence_is_sorted_and_reduced(self):
+        seq = farey_sequence(12)
+        values = [f.as_fraction() for f in seq]
+        assert values == sorted(values)
+        assert all(math.gcd(*f.as_tuple()) == 1 for f in seq)
+
+    def test_length_matches_euler_totient_sum(self):
+        # |F_n| = 1 + sum_{k<=n} phi(k)
+        def phi(k):
+            return sum(1 for i in range(1, k + 1) if math.gcd(i, k) == 1)
+
+        order = 9
+        assert len(farey_sequence(order)) == 1 + sum(phi(k) for k in range(1, order + 1))
+
+    def test_rejects_order_zero(self):
+        with pytest.raises(ValueError):
+            farey_sequence(0)
+
+
+class TestSimplestBetween:
+    def test_simplest_between_zero_and_one(self):
+        assert simplest_between(
+            ProperFraction(0, 1), ProperFraction(1, 1)
+        ) == ProperFraction(1, 2)
+
+    def test_simplest_between_narrow_interval(self):
+        result = simplest_between(ProperFraction(3, 7), ProperFraction(4, 9))
+        assert ProperFraction(3, 7) < result < ProperFraction(4, 9)
+
+    def test_requires_strict_order(self):
+        with pytest.raises(ValueError):
+            simplest_between(ProperFraction(1, 2), ProperFraction(1, 2))
+
+    @given(reduced_interior_fractions(), reduced_interior_fractions())
+    def test_result_strictly_inside_and_minimal_denominator(self, a, b):
+        if a == b:
+            return
+        low, high = (a, b) if a < b else (b, a)
+        result = simplest_between(low, high)
+        assert low < result < high
+        # No fraction with a smaller denominator lies inside the interval.
+        for denominator in range(1, result.denominator):
+            for numerator in range(0, denominator + 1):
+                candidate = ProperFraction(numerator, denominator)
+                assert not (low < candidate < high)
+
+    def test_reduced_label_interpolation_keeps_terms_small(self):
+        """The future-work motivation: the raw mediant grows terms every split,
+        the Farey interpolation does not."""
+        low = ProperFraction(0, 1)
+        high = ProperFraction(1, 1)
+        raw = high
+        farey = high
+        for _ in range(10):
+            raw = low.mediant_with(raw, limit=None)
+            farey = simplest_between(low, farey)
+        assert farey.denominator <= raw.denominator
+
+
+class TestSternBrocotPaths:
+    def test_root(self):
+        assert FareyNode.root().value == ProperFraction(1, 2)
+
+    def test_left_and_right_children(self):
+        root = FareyNode.root()
+        assert root.left().value == ProperFraction(1, 3)
+        assert root.right().value == ProperFraction(2, 3)
+
+    def test_known_paths(self):
+        assert stern_brocot_path(ProperFraction(1, 2)) == ""
+        assert stern_brocot_path(ProperFraction(1, 3)) == "L"
+        assert stern_brocot_path(ProperFraction(2, 3)) == "R"
+        assert stern_brocot_path(ProperFraction(3, 5)) == "RL"
+
+    def test_path_rejects_boundary_values(self):
+        with pytest.raises(ValueError):
+            stern_brocot_path(ProperFraction(0, 1))
+        with pytest.raises(ValueError):
+            stern_brocot_path(ProperFraction(1, 1))
+
+    def test_fraction_from_path_rejects_bad_moves(self):
+        with pytest.raises(ValueError):
+            fraction_from_path("LX")
+
+    @given(reduced_interior_fractions())
+    def test_round_trip(self, value):
+        path = stern_brocot_path(value)
+        assert fraction_from_path(path) == value.reduced()
+
+    @given(reduced_interior_fractions())
+    def test_parents_mediant_reproduces_value(self, value):
+        low, high = farey_parents(value)
+        assert low.mediant_with(high, limit=None).reduced() == value.reduced()
+        assert mediant_is_reduced(low, high)
+
+
+class TestTreeEnumeration:
+    def test_enumerate_tree_counts(self):
+        values = list(enumerate_tree(3))
+        # Levels 0..3 hold 1 + 2 + 4 + 8 nodes.
+        assert len(values) == 15
+        # Every enumerated value is reduced and strictly inside (0, 1).
+        for value in values:
+            assert ProperFraction(0, 1) < value < ProperFraction(1, 1)
+            assert math.gcd(*value.as_tuple()) == 1
+
+    def test_enumerate_tree_rejects_negative_depth(self):
+        with pytest.raises(ValueError):
+            list(enumerate_tree(-1))

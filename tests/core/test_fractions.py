@@ -1,0 +1,242 @@
+"""Unit and property tests for the proper-fraction arithmetic (Eqs. 1 and 2)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fractions import (
+    DEFAULT_MAX_DENOMINATOR,
+    ONE,
+    UINT32_MAX,
+    ZERO,
+    FractionOverflowError,
+    ProperFraction,
+    fibonacci_split_bound,
+    max_split_depth,
+    mediant,
+    mediant_chain,
+    next_element,
+    sort_fractions,
+)
+
+
+def proper_fractions(max_value: int = 10_000):
+    """Hypothesis strategy producing valid proper fractions m/n with m <= n."""
+    return st.builds(
+        lambda d, m: ProperFraction(m % (d + 1), d),
+        st.integers(min_value=1, max_value=max_value),
+        st.integers(min_value=0, max_value=max_value),
+    )
+
+
+class TestConstruction:
+    def test_zero_and_one_singletons(self):
+        assert ZERO == ProperFraction(0, 1)
+        assert ONE == ProperFraction(1, 1)
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ProperFraction(1, 0)
+
+    def test_rejects_negative_denominator(self):
+        with pytest.raises(ValueError):
+            ProperFraction(1, -2)
+
+    def test_rejects_negative_numerator(self):
+        with pytest.raises(ValueError):
+            ProperFraction(-1, 2)
+
+    def test_rejects_improper_fraction(self):
+        with pytest.raises(ValueError):
+            ProperFraction(3, 2)
+
+    def test_from_fraction(self):
+        assert ProperFraction.from_fraction(Fraction(2, 4)) == ProperFraction(1, 2)
+
+    def test_as_tuple_preserves_raw_terms(self):
+        assert ProperFraction(2, 4).as_tuple() == (2, 4)
+
+    def test_reduced(self):
+        assert ProperFraction(4, 8).reduced() == ProperFraction(1, 2)
+        assert ProperFraction(4, 8).reduced().as_tuple() == (1, 2)
+
+    def test_reduced_is_identity_when_already_reduced(self):
+        value = ProperFraction(3, 7)
+        assert value.reduced() is value
+
+
+class TestOrdering:
+    def test_basic_comparisons(self):
+        assert ProperFraction(1, 2) < ProperFraction(2, 3)
+        assert ProperFraction(2, 3) > ProperFraction(1, 2)
+        assert ProperFraction(1, 2) <= ProperFraction(1, 2)
+        assert ProperFraction(1, 2) >= ProperFraction(1, 2)
+
+    def test_equality_is_by_value_not_representation(self):
+        assert ProperFraction(1, 2) == ProperFraction(2, 4)
+        assert hash(ProperFraction(1, 2)) == hash(ProperFraction(2, 4))
+
+    def test_zero_is_least_one_is_greatest(self):
+        middle = ProperFraction(3, 7)
+        assert ZERO < middle < ONE
+
+    @given(proper_fractions(), proper_fractions())
+    def test_trichotomy(self, a, b):
+        outcomes = [a < b, a == b, b < a]
+        assert sum(outcomes) == 1
+
+    @given(proper_fractions(), proper_fractions(), proper_fractions())
+    def test_transitivity(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+    @given(proper_fractions(), proper_fractions())
+    def test_comparison_matches_exact_fractions(self, a, b):
+        assert (a < b) == (a.as_fraction() < b.as_fraction())
+
+    def test_sort_fractions(self):
+        values = [ProperFraction(2, 3), ZERO, ProperFraction(1, 2), ONE]
+        assert sort_fractions(values) == [
+            ZERO,
+            ProperFraction(1, 2),
+            ProperFraction(2, 3),
+            ONE,
+        ]
+
+
+class TestPredicates:
+    def test_is_zero(self):
+        assert ZERO.is_zero
+        assert ProperFraction(0, 5).is_zero
+        assert not ProperFraction(1, 5).is_zero
+
+    def test_is_one(self):
+        assert ONE.is_one
+        assert ProperFraction(4, 4).is_one
+        assert not ProperFraction(3, 4).is_one
+
+    def test_is_finite(self):
+        assert ProperFraction(3, 4).is_finite
+        assert not ONE.is_finite
+
+    def test_fits(self):
+        assert ProperFraction(1, 2).fits()
+        assert not ProperFraction(1, UINT32_MAX + 1).fits()
+        assert not ProperFraction(5, 10).fits(limit=4)
+
+
+class TestMediant:
+    def test_eq1_mediant_lies_strictly_between(self):
+        low, high = ProperFraction(1, 2), ProperFraction(2, 3)
+        mid = mediant(low, high)
+        assert low < mid < high
+        assert mid == ProperFraction(3, 5)
+
+    def test_mediant_of_bounds_is_one_half(self):
+        assert mediant(ZERO, ONE) == ProperFraction(1, 2)
+
+    @given(proper_fractions(), proper_fractions())
+    def test_eq1_property(self, a, b):
+        if a < b:
+            mid = a.mediant_with(b, limit=None)
+            assert a < mid < b
+
+    def test_mediant_overflow_raises(self):
+        huge = ProperFraction(UINT32_MAX - 1, UINT32_MAX)
+        with pytest.raises(FractionOverflowError):
+            huge.mediant_with(ProperFraction(1, 2))
+
+    def test_mediant_unlimited_does_not_raise(self):
+        huge = ProperFraction(UINT32_MAX - 1, UINT32_MAX)
+        result = huge.mediant_with(ProperFraction(1, 2), limit=None)
+        assert result.denominator == UINT32_MAX + 2
+
+    def test_would_overflow_with(self):
+        huge = ProperFraction(UINT32_MAX - 1, UINT32_MAX)
+        assert huge.would_overflow_with(ProperFraction(1, 2))
+        assert not ProperFraction(1, 2).would_overflow_with(ProperFraction(1, 3))
+
+
+class TestNextElement:
+    def test_eq2_next_element(self):
+        assert next_element(ZERO) == ProperFraction(1, 2)
+        assert next_element(ProperFraction(1, 2)) == ProperFraction(2, 3)
+        assert next_element(ProperFraction(2, 3)) == ProperFraction(3, 4)
+
+    def test_next_element_is_mediant_with_one(self):
+        value = ProperFraction(3, 7)
+        assert value.next_element() == value.mediant_with(ONE)
+
+    @given(proper_fractions())
+    def test_next_element_strictly_greater_but_below_one(self, value):
+        if value.is_one:
+            return
+        nxt = value.next_element(limit=None)
+        assert value < nxt < ONE
+
+
+class TestExample1Chain:
+    """The label chain of the paper's Example 1 (Fig. 1)."""
+
+    def test_repeated_next_element_builds_example1_labels(self):
+        labels = [ZERO]
+        for _ in range(5):
+            labels.append(labels[-1].next_element())
+        assert [f.as_tuple() for f in labels] == [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+        ]
+
+
+class TestSplitDepth:
+    def test_mediant_chain_yields_requested_count(self):
+        chain = list(mediant_chain(ZERO, ONE, 5))
+        assert len(chain) == 5
+        # Splitting toward 0/1 each time: 1/2, 1/3, 1/4, 1/5, 1/6.
+        assert [f.as_tuple() for f in chain] == [(1, 2), (1, 3), (1, 4), (1, 5), (1, 6)]
+
+    def test_mediant_chain_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            list(mediant_chain(ZERO, ONE, -1))
+
+    def test_paper_bound_at_least_45_splits(self):
+        """The paper: at least 45 splits fit in 32-bit fields."""
+        assert fibonacci_split_bound(UINT32_MAX) >= 45
+
+    def test_fibonacci_bound_small_limit(self):
+        # Denominators 2,3,5,8,13 fit under 13 -> 5 splits.
+        assert fibonacci_split_bound(13) == 5
+
+    def test_max_split_depth_small_limit(self):
+        depth = max_split_depth(ZERO, ONE, limit=16)
+        # Splitting 0/1 against the moving upper bound gives denominators
+        # 2, 3, 4, ... so 15 splits fit under 16 (denominator 16 is allowed,
+        # the next one, 17, is not).
+        assert depth == 15
+
+    def test_fibonacci_chain_matches_analytic_bound(self):
+        """Always splitting the two *most recent* labels makes denominators
+        grow like the Fibonacci sequence — the fastest possible — and the
+        number of such splits that fit under a limit matches the analytic
+        bound used to derive the paper's "at least 45" figure."""
+        limit = 1000
+        a, b = ZERO, ONE
+        depth = 0
+        while not a.would_overflow_with(b, limit):
+            a, b = b, a.mediant_with(b, limit=limit)
+            depth += 1
+        assert depth == fibonacci_split_bound(limit)
+
+    def test_max_denominator_constant(self):
+        assert DEFAULT_MAX_DENOMINATOR == 1_000_000_000
+        assert DEFAULT_MAX_DENOMINATOR < UINT32_MAX
+
+
+class TestRepr:
+    def test_repr_is_m_slash_n(self):
+        assert repr(ProperFraction(3, 7)) == "3/7"

@@ -1,0 +1,187 @@
+"""Tests for the dense ordinal label sets (Section II requirements on L)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fractions import ProperFraction
+from repro.core.labels import (
+    BoundedFractionLabelSet,
+    LabelSplitError,
+    LexicographicLabelSet,
+    UnboundedFractionLabelSet,
+)
+
+LABEL_SETS = [
+    pytest.param(UnboundedFractionLabelSet(), id="unbounded-fraction"),
+    pytest.param(BoundedFractionLabelSet(), id="bounded-fraction"),
+    pytest.param(LexicographicLabelSet(), id="lexicographic"),
+]
+
+
+@pytest.fixture(params=LABEL_SETS)
+def label_set(request):
+    return request.param
+
+
+class TestDistinguishedElements:
+    def test_least_below_greatest(self, label_set):
+        assert label_set.less(label_set.least(), label_set.greatest())
+
+    def test_is_greatest_and_is_least(self, label_set):
+        assert label_set.is_greatest(label_set.greatest())
+        assert label_set.is_least(label_set.least())
+        assert not label_set.is_greatest(label_set.least())
+
+    def test_greatest_has_no_next_element(self, label_set):
+        with pytest.raises(ValueError):
+            label_set.next_element(label_set.greatest())
+
+
+class TestOrderOperations:
+    def test_less_equal(self, label_set):
+        least = label_set.least()
+        assert label_set.less_equal(least, least)
+        assert label_set.less_equal(least, label_set.greatest())
+        assert not label_set.less_equal(label_set.greatest(), least)
+
+    def test_minimum_and_maximum(self, label_set):
+        least, greatest = label_set.least(), label_set.greatest()
+        mid = label_set.split(least, greatest)
+        labels = [greatest, mid, least]
+        assert label_set.equal(label_set.minimum(labels), least)
+        assert label_set.equal(label_set.maximum(labels), greatest)
+
+    def test_minimum_of_empty_raises(self, label_set):
+        with pytest.raises(ValueError):
+            label_set.minimum([])
+        with pytest.raises(ValueError):
+            label_set.maximum([])
+
+
+class TestDensity:
+    def test_split_strictly_between(self, label_set):
+        low, high = label_set.least(), label_set.greatest()
+        mid = label_set.split(low, high)
+        assert label_set.less(low, mid)
+        assert label_set.less(mid, high)
+
+    def test_split_requires_strict_order(self, label_set):
+        least = label_set.least()
+        with pytest.raises(ValueError):
+            label_set.split(least, least)
+        with pytest.raises(ValueError):
+            label_set.split(label_set.greatest(), least)
+
+    def test_repeated_splits_stay_ordered(self, label_set):
+        """Density in action: we can keep inserting labels forever (up to the
+        bounded set's overflow) and each stays strictly inside the interval."""
+        low = label_set.least()
+        high = label_set.greatest()
+        for _ in range(30):
+            try:
+                mid = label_set.split(low, high)
+            except LabelSplitError:
+                pytest.skip("bounded set overflowed before 30 splits")
+            assert label_set.less(low, mid)
+            assert label_set.less(mid, high)
+            high = mid
+
+    def test_next_element_strictly_greater(self, label_set):
+        least = label_set.least()
+        nxt = label_set.next_element(least)
+        assert label_set.less(least, nxt)
+        assert label_set.less(nxt, label_set.greatest())
+
+
+class TestUnboundedFractionSet:
+    def test_example1_labels_via_next_element(self):
+        label_set = UnboundedFractionLabelSet()
+        label = label_set.least()
+        chain = []
+        for _ in range(5):
+            label = label_set.next_element(label)
+            chain.append(label)
+        assert chain == [
+            Fraction(1, 2),
+            Fraction(2, 3),
+            Fraction(3, 4),
+            Fraction(4, 5),
+            Fraction(5, 6),
+        ]
+
+    def test_split_is_mediant_of_reduced_terms(self):
+        label_set = UnboundedFractionLabelSet()
+        assert label_set.split(Fraction(1, 2), Fraction(2, 3)) == Fraction(3, 5)
+
+    @given(
+        st.fractions(min_value=0, max_value=1),
+        st.fractions(min_value=0, max_value=1),
+    )
+    def test_split_always_succeeds_for_distinct_values(self, a, b):
+        label_set = UnboundedFractionLabelSet()
+        if a == b:
+            return
+        low, high = (a, b) if a < b else (b, a)
+        mid = label_set.split(low, high)
+        assert low < mid < high
+
+
+class TestBoundedFractionSet:
+    def test_limit_property(self):
+        assert BoundedFractionLabelSet(limit=100).limit == 100
+
+    def test_rejects_tiny_limit(self):
+        with pytest.raises(ValueError):
+            BoundedFractionLabelSet(limit=1)
+
+    def test_split_overflow_raises_label_split_error(self):
+        label_set = BoundedFractionLabelSet(limit=10)
+        low = ProperFraction(5, 6)
+        high = ProperFraction(6, 7)
+        with pytest.raises(LabelSplitError):
+            label_set.split(low, high)
+
+    def test_next_element_overflow_raises_label_split_error(self):
+        label_set = BoundedFractionLabelSet(limit=10)
+        with pytest.raises(LabelSplitError):
+            label_set.next_element(ProperFraction(9, 10))
+
+    def test_split_below_limit_matches_mediant(self):
+        label_set = BoundedFractionLabelSet(limit=100)
+        assert label_set.split(
+            ProperFraction(1, 2), ProperFraction(2, 3)
+        ) == ProperFraction(3, 5)
+
+
+class TestLexicographicSet:
+    def test_interior_labels_never_end_with_smallest_letter(self):
+        label_set = LexicographicLabelSet()
+        low, high = label_set.least(), label_set.greatest()
+        for _ in range(50):
+            mid = label_set.split(low, high)
+            assert not mid.endswith("a") or mid == "a" * 0
+            assert not mid.endswith("a")
+            high = mid
+
+    @settings(max_examples=200)
+    @given(st.lists(st.booleans(), min_size=0, max_size=60))
+    def test_random_split_walk_stays_ordered(self, directions):
+        """Randomly narrowing either bound never produces an out-of-order or
+        unrepresentable label."""
+        label_set = LexicographicLabelSet()
+        low, high = label_set.least(), label_set.greatest()
+        for go_low in directions:
+            mid = label_set.split(low, high)
+            assert label_set.less(low, mid) and label_set.less(mid, high)
+            if go_low:
+                high = mid
+            else:
+                low = mid
+
+    def test_next_element_of_least(self):
+        label_set = LexicographicLabelSet()
+        nxt = label_set.next_element(label_set.least())
+        assert label_set.less(label_set.least(), nxt)
+        assert label_set.less(nxt, label_set.greatest())

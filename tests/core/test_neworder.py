@@ -1,0 +1,209 @@
+"""Tests for Algorithm 1 (NEWORDER) and its Theorem 6 guarantees."""
+
+import pytest
+from hypothesis import assume, given, strategies as st
+
+from repro.core.fractions import ProperFraction, UINT32_MAX
+from repro.core.invariants import ordering_maintains_order
+from repro.core.neworder import (
+    new_order,
+    new_order_for_rreq_advertisement,
+)
+from repro.core.ordering import UNASSIGNED, Ordering
+
+
+def finite_orderings(max_sn: int = 4, max_term: int = 64):
+    fractions = st.builds(
+        lambda d, m: ProperFraction(m % d, d),
+        st.integers(min_value=2, max_value=max_term),
+        st.integers(min_value=0, max_value=max_term),
+    )
+    return st.builds(Ordering, st.integers(min_value=1, max_value=max_sn), fractions)
+
+
+def any_orderings(max_sn: int = 4, max_term: int = 64):
+    return st.one_of(st.just(UNASSIGNED), finite_orderings(max_sn, max_term))
+
+
+class TestAlgorithmCases:
+    def test_case2_fresher_sequence_number_takes_next_element(self):
+        """Line 5: node and predecessor both at older sn -> advertised + 1/1."""
+        current = Ordering(1, ProperFraction(1, 2))
+        cached = Ordering(1, ProperFraction(3, 4))
+        advertised = Ordering(2, ProperFraction(1, 3))
+        result = new_order(current, cached, advertised)
+        assert result.case == "line5"
+        assert result.ordering == Ordering(2, ProperFraction(2, 4))
+
+    def test_case3_same_request_sequence_number_splits(self):
+        """Line 7: cached predecessor at the advertised sn -> mediant split."""
+        current = Ordering(1, ProperFraction(1, 2))
+        cached = Ordering(2, ProperFraction(3, 4))
+        advertised = Ordering(2, ProperFraction(1, 3))
+        result = new_order(current, cached, advertised)
+        assert result.case == "line7"
+        assert result.ordering == Ordering(2, ProperFraction(4, 7))
+
+    def test_case4_keeps_current_label_when_already_ordered(self):
+        """Line 10: the current label already satisfies the cached predecessor."""
+        current = Ordering(2, ProperFraction(1, 2))
+        cached = Ordering(2, ProperFraction(3, 4))
+        advertised = Ordering(2, ProperFraction(1, 3))
+        result = new_order(current, cached, advertised)
+        assert result.case == "line10"
+        assert result.ordering == current
+
+    def test_case5_splits_when_current_label_out_of_order(self):
+        """Line 12: current label not below cached predecessor -> split."""
+        current = Ordering(2, ProperFraction(4, 5))
+        cached = Ordering(2, ProperFraction(3, 4))
+        advertised = Ordering(2, ProperFraction(1, 3))
+        result = new_order(current, cached, advertised)
+        assert result.case == "line12"
+        assert result.ordering == Ordering(2, ProperFraction(4, 7))
+
+    def test_case1_stale_advertisement_returns_unordered(self):
+        """An advertisement with an older sn than the node is infeasible."""
+        current = Ordering(3, ProperFraction(1, 2))
+        cached = UNASSIGNED
+        advertised = Ordering(2, ProperFraction(1, 3))
+        result = new_order(current, cached, advertised)
+        assert not result.is_finite
+        assert result.ordering == UNASSIGNED
+
+    def test_overflow_returns_unordered(self):
+        """32-bit overflow of the fraction split -> drop the advertisement."""
+        near_limit = ProperFraction(UINT32_MAX - 1, UINT32_MAX)
+        current = Ordering(2, near_limit)
+        cached = Ordering(2, near_limit)
+        advertised = Ordering(2, ProperFraction(1, 3))
+        result = new_order(current, cached, advertised, limit=UINT32_MAX)
+        assert not result.is_finite
+        assert result.case == "overflow"
+
+    def test_small_limit_triggers_overflow(self):
+        current = Ordering(2, ProperFraction(5, 6))
+        cached = Ordering(2, ProperFraction(5, 6))
+        advertised = Ordering(2, ProperFraction(4, 6))
+        result = new_order(current, cached, advertised, limit=10)
+        assert not result.is_finite
+
+    def test_unassigned_node_with_fresh_advertisement(self):
+        """A node with no label adopts the next-element of the advertisement."""
+        result = new_order(UNASSIGNED, UNASSIGNED, Ordering.destination(1))
+        assert result.is_finite
+        assert result.ordering == Ordering(1, ProperFraction(1, 2))
+
+
+class TestSuccessorElimination:
+    def test_out_of_order_successors_are_dropped(self):
+        """Line 13: successors the new label cannot keep in order are eliminated."""
+        current = Ordering(1, ProperFraction(1, 2))
+        cached = UNASSIGNED
+        advertised = Ordering(2, ProperFraction(1, 3))
+        successors = {
+            "keep": Ordering(2, ProperFraction(1, 5)),
+            "drop-stale": Ordering(1, ProperFraction(1, 5)),
+        }
+        result = new_order(current, cached, advertised, successors)
+        assert result.is_finite
+        assert "drop-stale" in result.dropped_successors
+        assert "keep" not in result.dropped_successors
+
+    def test_successor_map_is_not_mutated(self):
+        successors = {"x": Ordering(1, ProperFraction(1, 5))}
+        snapshot = dict(successors)
+        new_order(
+            Ordering(1, ProperFraction(1, 2)),
+            UNASSIGNED,
+            Ordering(2, ProperFraction(1, 3)),
+            successors,
+        )
+        assert successors == snapshot
+
+
+class TestRreqAdvertisementVariant:
+    def test_uses_unassigned_cached_ordering(self):
+        current = Ordering(1, ProperFraction(1, 2))
+        advertised = Ordering(2, ProperFraction(1, 3))
+        direct = new_order(current, UNASSIGNED, advertised)
+        via_helper = new_order_for_rreq_advertisement(current, advertised)
+        assert direct.ordering == via_helper.ordering
+
+    def test_keeps_label_when_already_fresher_or_equal(self):
+        current = Ordering(2, ProperFraction(1, 2))
+        advertised = Ordering(2, ProperFraction(1, 3))
+        result = new_order_for_rreq_advertisement(current, advertised)
+        assert result.ordering == current
+
+
+class TestTheorem6:
+    """Every finite result of Algorithm 1 maintains order (Eqs. 3-6).
+
+    The theorem's proof rests on two operational preconditions ("Facts"):
+
+    * Fact 1 — the advertisement is feasible at the node (``O_A ≺ O_?``), which
+      Procedure 3 guarantees before calling Algorithm 1;
+    * Fact 2 — the cached solicitation ordering precedes the advertisement
+      (``C_A_? ≺ O_?``), which holds because the reply was issued for a label
+      below the minimum carried in the request.
+
+    The property tests therefore restrict generated inputs to those
+    preconditions, exactly as the protocol does.
+    """
+
+    @staticmethod
+    def _facts_hold(current, cached, advertised):
+        fact1 = current == UNASSIGNED or current.precedes(advertised)
+        fact2 = cached == UNASSIGNED or cached.precedes(advertised)
+        return fact1 and fact2
+
+    @given(any_orderings(), any_orderings(), finite_orderings())
+    def test_finite_results_maintain_order(self, current, cached, advertised):
+        assume(self._facts_hold(current, cached, advertised))
+        result = new_order(current, cached, advertised)
+        if not result.is_finite:
+            return
+        assert ordering_maintains_order(
+            result.ordering,
+            current_ordering=current,
+            predecessor_minimum=cached,
+            advertised_ordering=advertised,
+            successor_maximum=None,
+        )
+
+    @given(any_orderings(), any_orderings(), finite_orderings())
+    def test_result_is_feasible_successor_relationship(self, current, cached, advertised):
+        """Eq. 5 specifically: the advertiser is a feasible successor of the
+        new label, so adopting it can never create a loop (Theorem 2)."""
+        assume(self._facts_hold(current, cached, advertised))
+        result = new_order(current, cached, advertised)
+        if result.is_finite:
+            assert result.ordering.precedes(advertised)
+
+    @given(
+        any_orderings(),
+        any_orderings(),
+        finite_orderings(),
+        st.dictionaries(
+            st.integers(min_value=0, max_value=5), finite_orderings(), max_size=4
+        ),
+    )
+    def test_retained_successors_remain_in_order(
+        self, current, cached, advertised, successors
+    ):
+        result = new_order(current, cached, advertised, successors)
+        if not result.is_finite:
+            return
+        for node, ordering in successors.items():
+            if node not in result.dropped_successors:
+                assert result.ordering.precedes(ordering)
+
+    @given(any_orderings(), any_orderings(), finite_orderings())
+    def test_labels_never_increase(self, current, cached, advertised):
+        """Eq. 3 across the algorithm: a finite result never moves the node
+        farther from the destination than it already was."""
+        assume(self._facts_hold(current, cached, advertised))
+        result = new_order(current, cached, advertised)
+        if result.is_finite and result.ordering != current:
+            assert current.precedes(result.ordering)

@@ -1,0 +1,172 @@
+"""Tests for the SRP composite ordering (Definitions 4–7 of the paper)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fractions import ProperFraction, UINT32_MAX
+from repro.core.ordering import UNASSIGNED, Ordering, ordering_max, ordering_min
+
+
+def orderings(max_sn: int = 5, max_term: int = 200):
+    """Hypothesis strategy over valid (possibly unassigned) orderings."""
+    fractions = st.builds(
+        lambda d, m: ProperFraction(m % (d + 1), d),
+        st.integers(min_value=1, max_value=max_term),
+        st.integers(min_value=0, max_value=max_term),
+    )
+    return st.builds(Ordering, st.integers(min_value=0, max_value=max_sn), fractions)
+
+
+class TestConstruction:
+    def test_unassigned_sentinel(self):
+        assert UNASSIGNED == Ordering(0, ProperFraction(1, 1))
+        assert UNASSIGNED.is_unassigned
+        assert not UNASSIGNED.is_finite
+
+    def test_destination_label(self):
+        dest = Ordering.destination(7)
+        assert dest.sequence_number == 7
+        assert dest.fraction.is_zero
+        assert dest.is_finite
+
+    def test_destination_requires_nonzero_sequence_number(self):
+        with pytest.raises(ValueError):
+            Ordering.destination(0)
+
+    def test_rejects_negative_sequence_number(self):
+        with pytest.raises(ValueError):
+            Ordering(-1, ProperFraction(1, 2))
+
+    def test_as_tuple(self):
+        assert Ordering(3, ProperFraction(2, 5)).as_tuple() == (3, 2, 5)
+
+    def test_equality_and_hash_by_fraction_value(self):
+        a = Ordering(2, ProperFraction(1, 2))
+        b = Ordering(2, ProperFraction(2, 4))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Ordering(3, ProperFraction(1, 2))
+
+
+class TestOrderingCriteria:
+    """Definition 5: A ≺ B iff sn_A < sn_B, or sn equal and F_B < F_A."""
+
+    def test_higher_sequence_number_supersedes(self):
+        older = Ordering(1, ProperFraction(1, 10))
+        fresher = Ordering(2, ProperFraction(9, 10))
+        assert older.precedes(fresher)
+        assert not fresher.precedes(older)
+
+    def test_equal_sequence_number_smaller_fraction_precedes(self):
+        far = Ordering(3, ProperFraction(3, 4))
+        near = Ordering(3, ProperFraction(1, 4))
+        assert far.precedes(near)
+        assert not near.precedes(far)
+
+    def test_never_precedes_itself(self):
+        value = Ordering(3, ProperFraction(1, 4))
+        assert not value.precedes(value)
+
+    def test_unassigned_is_maximum(self):
+        """Any assigned node is a feasible successor for an unassigned one."""
+        assigned = Ordering(1, ProperFraction(1, 2))
+        assert UNASSIGNED.precedes(assigned)
+        assert not assigned.precedes(UNASSIGNED)
+
+    def test_destination_is_feasible_for_everyone(self):
+        dest = Ordering.destination(1)
+        others = [
+            UNASSIGNED,
+            Ordering(1, ProperFraction(1, 2)),
+            Ordering(1, ProperFraction(1, 1000)),
+        ]
+        for other in others:
+            assert other.precedes(dest)
+
+    def test_preceded_by_and_feasible_successor_aliases(self):
+        a = Ordering(1, ProperFraction(1, 2))
+        b = Ordering(2, ProperFraction(1, 2))
+        assert b.preceded_by(a)
+        assert a.feasible_successor(b)
+
+    @given(orderings(), orderings())
+    def test_strict_partial_order_asymmetry(self, a, b):
+        if a.precedes(b):
+            assert not b.precedes(a)
+
+    @given(orderings(), orderings(), orderings())
+    def test_strict_partial_order_transitivity(self, a, b, c):
+        if a.precedes(b) and b.precedes(c):
+            assert a.precedes(c)
+
+    @given(orderings())
+    def test_irreflexive(self, a):
+        assert not a.precedes(a)
+
+
+class TestMinMax:
+    def test_ordering_min_returns_feasible_successor(self):
+        """The paper: min{O_A, O_B} returns O_B if O_A ≺ O_B else O_A."""
+        far = Ordering(1, ProperFraction(3, 4))
+        near = Ordering(1, ProperFraction(1, 4))
+        assert ordering_min(far, near) == near
+        assert ordering_min(near, far) == near
+
+    def test_ordering_min_prefers_fresher_sequence_number(self):
+        stale = Ordering(1, ProperFraction(1, 100))
+        fresh = Ordering(2, ProperFraction(99, 100))
+        assert ordering_min(stale, fresh) == fresh
+
+    def test_ordering_max(self):
+        far = Ordering(1, ProperFraction(3, 4))
+        near = Ordering(1, ProperFraction(1, 4))
+        assert ordering_max(far, near) == far
+
+    @given(orderings(), orderings())
+    def test_min_and_max_partition_the_pair(self, a, b):
+        low, high = ordering_min(a, b), ordering_max(a, b)
+        assert {low, high} <= {a, b}
+        if a != b:
+            # When comparable, max ≺ min (min is closer to the destination).
+            if a.precedes(b) or b.precedes(a):
+                assert high.precedes(low) or high == low
+
+
+class TestOrderingAddition:
+    """Definition 6: O + p/q keeps the sequence number and mediants the fraction."""
+
+    def test_plus_fraction(self):
+        value = Ordering(4, ProperFraction(1, 3))
+        result = value.plus_fraction(ProperFraction(1, 2))
+        assert result == Ordering(4, ProperFraction(2, 5))
+
+    def test_plus_larger_fraction_precedes_original(self):
+        """If m/n < p/q then O + p/q ≺ O (Definition 6's closing remark)."""
+        value = Ordering(4, ProperFraction(1, 3))
+        result = value.plus_fraction(ProperFraction(1, 2))
+        assert result.precedes(value)
+
+    def test_next_element_is_plus_one_over_one(self):
+        value = Ordering(4, ProperFraction(1, 3))
+        assert value.next_element() == Ordering(4, ProperFraction(2, 4))
+
+    def test_addition_requires_finite_ordering(self):
+        with pytest.raises(ValueError):
+            UNASSIGNED.plus_fraction(ProperFraction(1, 2))
+
+    def test_split_with_requires_equal_sequence_numbers(self):
+        a = Ordering(1, ProperFraction(1, 2))
+        b = Ordering(2, ProperFraction(1, 3))
+        with pytest.raises(ValueError):
+            a.split_with(b)
+
+    def test_split_with_takes_mediant(self):
+        a = Ordering(2, ProperFraction(1, 2))
+        b = Ordering(2, ProperFraction(2, 3))
+        assert a.split_with(b) == Ordering(2, ProperFraction(3, 5))
+
+    def test_would_overflow_with(self):
+        near_limit = Ordering(1, ProperFraction(1, UINT32_MAX))
+        other = Ordering(1, ProperFraction(1, 2))
+        assert near_limit.would_overflow_with(other)
+        assert not other.would_overflow_with(other)

@@ -1,0 +1,287 @@
+"""Tests for the SRP protocol: procedures, table behaviour and end-to-end routing."""
+
+import pytest
+
+from repro.core.fractions import ProperFraction
+from repro.core.ordering import UNASSIGNED, Ordering
+from repro.protocols.srp import SrpConfig, SrpProtocol, SrpRreq
+from repro.protocols.srp.table import SrpRoutingTable
+
+from .helpers import StaticNetwork, chain_positions
+
+
+def srp_factory(config=None):
+    return lambda node_id: SrpProtocol(config or SrpConfig())
+
+
+def build_chain(length=5, config=None):
+    network = StaticNetwork(chain_positions(length), srp_factory(config))
+    network.start()
+    return network
+
+
+class TestRoutingTable:
+    def test_entry_created_on_demand(self):
+        table = SrpRoutingTable()
+        entry = table.entry("T")
+        assert not entry.is_active
+        assert not entry.is_assigned
+        assert entry.ordering == UNASSIGNED
+
+    def test_add_and_remove_successor(self):
+        table = SrpRoutingTable()
+        table.add_successor("T", "B", Ordering(1, ProperFraction(1, 3)), 2.0, now=0.0)
+        assert table.entry("T").is_active
+        assert table.next_hop("T") == "B"
+        became_invalid = table.remove_successor("T", "B")
+        assert became_invalid
+        assert table.next_hop("T") is None
+
+    def test_best_successor_is_min_distance(self):
+        table = SrpRoutingTable()
+        table.add_successor("T", "far", Ordering(1, ProperFraction(1, 3)), 5.0, now=0.0)
+        table.add_successor("T", "near", Ordering(1, ProperFraction(1, 4)), 2.0, now=0.0)
+        assert table.next_hop("T") == "near"
+        assert table.alternative_next_hop("T", excluding="near") == "far"
+
+    def test_successor_maximum(self):
+        table = SrpRoutingTable()
+        far = Ordering(1, ProperFraction(2, 3))
+        near = Ordering(1, ProperFraction(1, 3))
+        table.add_successor("T", "a", far, 1.0, now=0.0)
+        table.add_successor("T", "b", near, 1.0, now=0.0)
+        assert table.entry("T").successor_maximum() == far
+
+    def test_drop_out_of_order_successors(self):
+        table = SrpRoutingTable()
+        table.set_own_ordering("T", Ordering(1, ProperFraction(1, 2)), 2.0)
+        table.add_successor("T", "good", Ordering(1, ProperFraction(1, 3)), 1.0, now=0.0)
+        table.add_successor("T", "bad", Ordering(1, ProperFraction(2, 3)), 1.0, now=0.0)
+        dropped = table.drop_out_of_order_successors("T")
+        assert dropped == ["bad"]
+        assert "good" in table.entry("T").successors
+
+    def test_remove_neighbor_everywhere(self):
+        table = SrpRoutingTable()
+        table.add_successor("T1", "B", Ordering(1, ProperFraction(1, 3)), 1.0, now=0.0)
+        table.add_successor("T2", "B", Ordering(1, ProperFraction(1, 4)), 1.0, now=0.0)
+        table.add_successor("T2", "C", Ordering(1, ProperFraction(1, 5)), 2.0, now=0.0)
+        invalid = table.remove_neighbor_everywhere("B")
+        assert invalid == ["T1"]
+        assert table.entry("T2").is_active
+
+    def test_successor_expiry(self):
+        table = SrpRoutingTable(route_lifetime=5.0)
+        table.add_successor("T", "B", Ordering(1, ProperFraction(1, 3)), 1.0, now=0.0)
+        assert table.expire_stale_successors(now=4.0) == []
+        assert table.expire_stale_successors(now=6.0) == ["T"]
+
+
+class TestProtocolUnits:
+    """Direct unit tests of protocol decision logic without a full network."""
+
+    def _attached_protocol(self):
+        network = StaticNetwork({0: (0, 0), 1: (100, 0)}, srp_factory())
+        network.start()
+        return network.protocol(0), network
+
+    def test_node_labels_itself_on_start(self):
+        protocol, _ = self._attached_protocol()
+        own = protocol.own_ordering(protocol.node_id)
+        assert own.sequence_number == 1
+        assert own.fraction.is_zero
+
+    def test_sdc_requires_active_route(self):
+        protocol, _ = self._attached_protocol()
+        rreq = SrpRreq(
+            source=9,
+            rreq_id=1,
+            destination=5,
+            requested_ordering=UNASSIGNED,
+            unknown_ordering=True,
+            traversed_distance=5.0,
+        )
+        assert not protocol._satisfies_sdc(rreq)
+
+    def test_sdc_holds_for_in_order_route_beyond_min_distance(self):
+        protocol, _ = self._attached_protocol()
+        protocol.table.set_own_ordering(5, Ordering(2, ProperFraction(1, 3)), 2.0)
+        protocol.table.add_successor(
+            5, 1, Ordering(2, ProperFraction(1, 4)), 1.0, now=0.0
+        )
+        in_order = SrpRreq(
+            source=9,
+            rreq_id=1,
+            destination=5,
+            requested_ordering=Ordering(2, ProperFraction(1, 2)),
+            traversed_distance=5.0,
+        )
+        assert protocol._satisfies_sdc(in_order)
+        too_close = SrpRreq(
+            source=9,
+            rreq_id=2,
+            destination=5,
+            requested_ordering=Ordering(2, ProperFraction(1, 2)),
+            traversed_distance=0.0,
+        )
+        assert not protocol._satisfies_sdc(too_close)
+
+    def test_sdc_rejects_out_of_order_route(self):
+        protocol, _ = self._attached_protocol()
+        protocol.table.set_own_ordering(5, Ordering(2, ProperFraction(1, 2)), 2.0)
+        protocol.table.add_successor(
+            5, 1, Ordering(2, ProperFraction(1, 4)), 1.0, now=0.0
+        )
+        # The requester is already closer to the destination than we are.
+        rreq = SrpRreq(
+            source=9,
+            rreq_id=1,
+            destination=5,
+            requested_ordering=Ordering(2, ProperFraction(1, 3)),
+            traversed_distance=5.0,
+        )
+        assert not protocol._satisfies_sdc(rreq)
+
+    def test_sdc_fresher_sequence_number_wins(self):
+        protocol, _ = self._attached_protocol()
+        protocol.table.set_own_ordering(5, Ordering(3, ProperFraction(2, 3)), 2.0)
+        protocol.table.add_successor(
+            5, 1, Ordering(3, ProperFraction(1, 4)), 1.0, now=0.0
+        )
+        rreq = SrpRreq(
+            source=9,
+            rreq_id=1,
+            destination=5,
+            requested_ordering=Ordering(2, ProperFraction(1, 100)),
+            traversed_distance=5.0,
+        )
+        assert protocol._satisfies_sdc(rreq)
+
+    def test_rreq_ordering_lie(self):
+        protocol, _ = self._attached_protocol()
+        lied = protocol._maybe_lie(Ordering(3, ProperFraction(5, 9)))
+        assert lied.sequence_number == 3
+        assert lied.fraction == ProperFraction(4, 8)
+        assert lied.fraction < ProperFraction(5, 9)
+
+    def test_rreq_ordering_lie_with_unit_numerator(self):
+        protocol, _ = self._attached_protocol()
+        lied = protocol._maybe_lie(Ordering(3, ProperFraction(1, 4)))
+        assert lied.fraction < ProperFraction(1, 4)
+
+    def test_lie_disabled_by_config(self):
+        network = StaticNetwork(
+            {0: (0, 0), 1: (100, 0)}, srp_factory(SrpConfig(lie_in_rreq=False))
+        )
+        network.start()
+        ordering = Ordering(3, ProperFraction(5, 9))
+        assert network.protocol(0)._maybe_lie(ordering) == ordering
+
+    def test_sequence_number_metric_starts_at_zero(self):
+        protocol, _ = self._attached_protocol()
+        assert protocol.sequence_number_metric() == 0
+
+
+class TestEndToEndRouting:
+    def test_data_delivery_over_multihop_chain(self):
+        network = build_chain(5)
+        network.send_data(0, 4)
+        network.run(until=5.0)
+        summary = network.summary()
+        assert summary.data_sent == 1
+        assert summary.data_delivered == 1
+
+    def test_route_discovery_creates_ordered_labels(self):
+        network = build_chain(5)
+        network.send_data(0, 4)
+        network.run(until=5.0)
+        # Labels along the chain must be in topological order toward node 4.
+        orderings = [network.protocol(i).own_ordering(4) for i in range(4)]
+        for closer, farther in zip(orderings[1:], orderings[:-1]):
+            assert farther.precedes(closer) or farther == closer
+        # And the requester's successor chain reaches the destination.
+        hops = [0]
+        while hops[-1] != 4 and len(hops) < 10:
+            next_hop = network.protocol(hops[-1]).table.next_hop(4)
+            assert next_hop is not None
+            hops.append(next_hop)
+        assert hops[-1] == 4
+
+    def test_successor_graph_is_loop_free_after_discovery(self):
+        import networkx as nx
+
+        network = build_chain(6)
+        network.send_data(0, 5)
+        network.send_data(2, 5)
+        network.run(until=6.0)
+        graph = nx.DiGraph()
+        for node_id in network.nodes:
+            entry = network.protocol(node_id).table.lookup(5)
+            if entry is None:
+                continue
+            for successor in entry.successors:
+                graph.add_edge(node_id, successor)
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_bidirectional_traffic(self):
+        network = build_chain(4)
+        network.send_data(0, 3)
+        network.send_data(3, 0)
+        network.run(until=5.0)
+        assert network.summary().data_delivered == 2
+
+    def test_srp_sequence_number_stays_zero(self):
+        """Fig. 7's headline: SRP never needs a sequence-number reset."""
+        network = build_chain(6)
+        for _ in range(3):
+            network.send_data(0, 5)
+            network.send_data(5, 0)
+        network.run(until=10.0)
+        summary = network.summary()
+        assert summary.average_sequence_number == 0.0
+
+    def test_unreachable_destination_drops_data(self):
+        positions = dict(chain_positions(3))
+        positions[99] = (5000.0, 5000.0)  # isolated node
+        network = StaticNetwork(positions, srp_factory())
+        network.start()
+        network.send_data(0, 99)
+        network.run(until=10.0)
+        summary = network.summary()
+        assert summary.data_delivered == 0
+        assert network.protocol(0).data_drops >= 1
+
+    def test_multiple_sources_to_one_destination(self):
+        network = build_chain(6)
+        for source in range(5):
+            network.send_data(source, 5)
+        network.run(until=8.0)
+        assert network.summary().data_delivered == 5
+
+
+class TestRouteRepair:
+    def test_node_disappearance_triggers_new_discovery_and_delivery(self):
+        """Break the only path by silencing a relay; the source re-discovers
+        over the surviving topology and keeps delivering."""
+        positions = {
+            0: (0.0, 0.0),
+            1: (200.0, 0.0),     # primary relay
+            2: (200.0, 150.0),   # alternative relay
+            3: (400.0, 0.0),     # destination
+        }
+        network = StaticNetwork(positions, srp_factory())
+        network.start()
+        network.send_data(0, 3)
+        network.run(until=3.0)
+        assert network.stats.data_delivered == 1
+        # Silence node 1: drop everything it would transmit from now on by
+        # moving it out of range (its MAC keeps its position provider).
+        from repro.sim.mobility import StaticMobility
+        from repro.sim.space import Position
+
+        network.nodes[1].mobility = StaticMobility(Position(10_000.0, 10_000.0))
+        network.send_data(0, 3)
+        network.run(until=10.0)
+        summary = network.summary()
+        assert summary.data_delivered == 2
+        assert summary.average_sequence_number == 0.0

@@ -1,0 +1,172 @@
+"""Tests for the wireless channel (collisions, carrier sense) and the MAC."""
+
+import random
+
+import pytest
+
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.mac import Mac
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.phy import PhyConfig
+
+
+def make_packet(source, destination, *, kind=PacketKind.DATA, size=512):
+    return Packet(
+        kind=kind, source=source, destination=destination, size_bytes=size, created_at=0.0
+    )
+
+
+class Harness:
+    """A tiny fixed-position network of MACs wired to recording handlers."""
+
+    def __init__(self, positions, phy=None):
+        self.simulator = Simulator()
+        self.phy = phy or PhyConfig()
+        self.channel = Channel(self.simulator, self.phy)
+        self.received = {node_id: [] for node_id in positions}
+        self.failures = {node_id: [] for node_id in positions}
+        self.macs = {}
+        for node_id, position in positions.items():
+            mac = Mac(
+                node_id,
+                self.simulator,
+                self.channel,
+                random.Random(node_id),
+                position_provider=lambda p=position: p,
+            )
+            mac.set_handlers(
+                lambda packet, sender, nid=node_id: self.received[nid].append(
+                    (packet, sender)
+                ),
+                lambda packet, hop, nid=node_id: self.failures[nid].append(
+                    (packet, hop)
+                ),
+            )
+            self.macs[node_id] = mac
+
+
+class TestPhyConfig:
+    def test_transmission_time_scales_with_size(self):
+        phy = PhyConfig()
+        from repro.sim.packet import Frame
+
+        small = Frame(make_packet("a", "b", size=64), "a", "b")
+        large = Frame(make_packet("a", "b", size=1024), "a", "b")
+        assert phy.transmission_time(large) > phy.transmission_time(small)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            PhyConfig(bitrate_bps=0)
+        with pytest.raises(ValueError):
+            PhyConfig(reception_range=0)
+        with pytest.raises(ValueError):
+            PhyConfig(reception_range=300, carrier_sense_range=200)
+
+
+class TestChannelGeometry:
+    def test_neighbors_within_range(self):
+        harness = Harness({"a": (0, 0), "b": (100, 0), "c": (1000, 0)})
+        assert harness.channel.neighbors_of("a") == ["b"]
+        assert harness.channel.in_range("a", "b")
+        assert not harness.channel.in_range("a", "c")
+
+
+class TestUnicastDelivery:
+    def test_unicast_reaches_receiver(self):
+        harness = Harness({"a": (0, 0), "b": (100, 0)})
+        packet = make_packet("a", "b")
+        harness.macs["a"].send(packet, "b")
+        harness.simulator.run()
+        assert len(harness.received["b"]) == 1
+        assert harness.received["b"][0][1] == "a"
+        assert harness.macs["a"].stats.delivered_unicasts == 1
+
+    def test_unicast_not_delivered_to_third_party_handler(self):
+        harness = Harness({"a": (0, 0), "b": (100, 0), "c": (50, 50)})
+        harness.macs["a"].send(make_packet("a", "b"), "b")
+        harness.simulator.run()
+        # c hears the frame at the radio but the MAC filters it out.
+        assert harness.received["c"] == []
+
+    def test_unicast_out_of_range_reports_link_failure(self):
+        harness = Harness({"a": (0, 0), "b": (1000, 0)})
+        packet = make_packet("a", "b")
+        harness.macs["a"].send(packet, "b")
+        harness.simulator.run()
+        assert harness.received["b"] == []
+        assert harness.failures["a"] == [(packet, "b")]
+        assert harness.macs["a"].stats.retry_drops == 1
+        # The failed unicast was retried the full number of times.
+        assert harness.macs["a"].stats.transmitted_frames == 1 + harness.phy.retry_limit
+
+    def test_broadcast_reaches_all_in_range(self):
+        harness = Harness({"a": (0, 0), "b": (100, 0), "c": (200, 0), "d": (900, 0)})
+        harness.macs["a"].send(make_packet("a", "all", kind=PacketKind.CONTROL), None)
+        harness.simulator.run()
+        assert len(harness.received["b"]) == 1
+        assert len(harness.received["c"]) == 1
+        assert harness.received["d"] == []
+
+    def test_broadcast_is_not_retried(self):
+        harness = Harness({"a": (0, 0)})
+        harness.macs["a"].send(make_packet("a", "all"), None)
+        harness.simulator.run()
+        assert harness.macs["a"].stats.transmitted_frames == 1
+        assert harness.macs["a"].stats.retry_drops == 0
+
+
+class TestQueueing:
+    def test_queue_overflow_counts_as_mac_drop(self):
+        phy = PhyConfig(max_queue_length=2)
+        harness = Harness({"a": (0, 0), "b": (100, 0)}, phy=phy)
+        for _ in range(5):
+            harness.macs["a"].send(make_packet("a", "b"), "b")
+        # The first two frames fit the queue; the remaining three are dropped.
+        assert harness.macs["a"].stats.queue_drops == 3
+        harness.simulator.run()
+        assert harness.macs["a"].stats.drops >= 3
+
+    def test_frames_are_serialised_one_at_a_time(self):
+        harness = Harness({"a": (0, 0), "b": (100, 0)})
+        for _ in range(3):
+            harness.macs["a"].send(make_packet("a", "b"), "b")
+        harness.simulator.run()
+        assert len(harness.received["b"]) == 3
+
+
+class TestCollisions:
+    def test_simultaneous_transmissions_collide_at_receiver(self):
+        """Two hidden terminals transmitting at the same instant collide at the
+        node between them."""
+        positions = {"left": (0, 0), "middle": (200, 0), "right": (400, 0)}
+        phy = PhyConfig(reception_range=250, carrier_sense_range=250)
+        harness = Harness(positions, phy=phy)
+        # Bypass the MAC jitter by transmitting directly on the channel.
+        from repro.sim.packet import Frame
+
+        frame_left = Frame(make_packet("left", "middle"), "left", "middle")
+        frame_right = Frame(make_packet("right", "middle"), "right", "middle")
+        results = []
+        harness.channel.transmit("left", frame_left, results.append)
+        harness.channel.transmit("right", frame_right, results.append)
+        harness.simulator.run()
+        assert harness.received["middle"] == []
+        assert results == [False, False]
+        assert harness.channel.stats.collisions >= 2
+
+    def test_carrier_sense_detects_nearby_transmission(self):
+        harness = Harness({"a": (0, 0), "b": (100, 0), "c": (300, 0)})
+        from repro.sim.packet import Frame
+
+        harness.channel.transmit("a", Frame(make_packet("a", "b"), "a", "b"))
+        assert harness.channel.is_busy_near("c")
+        harness.simulator.run()
+        assert not harness.channel.is_busy_near("c")
+
+    def test_far_away_node_does_not_sense_carrier(self):
+        harness = Harness({"a": (0, 0), "far": (5000, 0)})
+        from repro.sim.packet import Frame
+
+        harness.channel.transmit("a", Frame(make_packet("a", "x"), "a", "x"))
+        assert not harness.channel.is_busy_near("far")

@@ -1,0 +1,104 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_in(2.0, lambda: order.append("late"))
+        sim.schedule_in(1.0, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+        assert sim.now == 2.0
+
+    def test_same_time_events_run_fifo(self):
+        sim = Simulator()
+        order = []
+        for label in ["a", "b", "c"]:
+            sim.schedule_in(1.0, lambda label=label: order.append(label))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_in(1.0, lambda: order.append("low"), priority=5)
+        sim.schedule_in(1.0, lambda: order.append("high"), priority=0)
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule_in(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_scheduled_during_execution(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule_in(1.0, lambda: seen.append(sim.now))
+
+        sim.schedule_in(1.0, first)
+        sim.run()
+        assert seen == [1.0, 2.0]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_in(1.0, lambda: fired.append(1))
+        sim.schedule_in(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        # The late event survives for a later run() call.
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_cancelled_events_do_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_in(1.0, lambda: fired.append("cancelled"))
+        sim.schedule_in(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        sim.run()
+        assert fired == ["kept"]
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_in(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule_in(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_step_executes_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_in(1.0, lambda: fired.append(1))
+        sim.schedule_in(2.0, lambda: fired.append(2))
+        assert sim.step()
+        assert fired == [1]
+        assert sim.step()
+        assert not sim.step()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule_in(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
