@@ -26,6 +26,7 @@ from .packet import BROADCAST, Frame, Packet, PacketKind
 from .phy import PhyConfig
 from .rng import RngStreams, derive_seed
 from .space import Position, Terrain
+from .spatial import SpatialGrid
 from .stats import TrialStats, TrialSummary
 
 __all__ = [
@@ -55,6 +56,7 @@ __all__ = [
     "derive_seed",
     "Position",
     "Terrain",
+    "SpatialGrid",
     "TrialStats",
     "TrialSummary",
 ]

@@ -12,20 +12,62 @@ detection, without hello packets").
 
 Carrier sensing queries ask whether any transmission is in progress within the
 carrier-sense range of a prospective sender.
+
+Performance design (and its invariants)
+---------------------------------------
+
+The geometry queries sit on the simulation's hottest path — every broadcast
+flood asks for a reception set, every MAC attempt carrier-senses — so the
+channel layers three caches over the brute-force O(N) scans.  All three are
+exact: for a fixed seed, a trial produces bit-identical results with them on
+or off (``use_spatial_index=False`` restores the brute-force scan).
+
+1. **Per-timestamp position cache.**  Node positions are pure functions of
+   the simulation clock, so the channel interpolates each node's mobility
+   trace at most once per distinct value of ``simulator.now`` and serves
+   repeated lookups from a dict.  The cache is invalidated whenever the clock
+   advances.  *Invariant:* a listener's ``position()`` must depend only on
+   ``simulator.now`` (true for every mobility model; a listener that
+   teleports independently of the clock must not be cached).
+
+2. **Uniform-grid spatial index** (:class:`~repro.sim.spatial.SpatialGrid`,
+   cell size = reception range).  Range queries inspect only the grid cells
+   overlapping the query disk instead of every node.  The grid is a position
+   *snapshot*: rebuilding it every query would cost the same O(N) as the
+   scan it replaces, so the channel reuses a snapshot taken at time ``t0``
+   until nodes could have drifted more than a staleness budget
+   (``max_node_speed * (now - t0)``).  Queries inflate their radius by the
+   current drift bound — making the candidate set a strict superset of the
+   true neighbour set — and then re-filter against exact cached positions
+   with the same inclusive ``sqrt(dx²+dy²) <= r`` test, in listener attach
+   order, as the brute-force scan.  *Invariant:* no node moves faster than
+   ``max_node_speed`` (paper mobility: 20 m/s); a model that violates it must
+   lower the budget via the constructor or disable the index.
+
+3. **End-time heap for in-flight transmissions.**  Carrier sense used to
+   rebuild the whole active-transmission list on every query; the list is now
+   a min-heap on end time, so expired entries are lazily popped in O(log T)
+   and the surviving entries scanned directly.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Optional, Protocol
+from typing import Callable, Dict, Hashable, List, Optional, Protocol, Tuple
 
 from .engine import Simulator
 from .packet import Frame
 from .phy import PhyConfig
+from .spatial import SpatialGrid
 
 __all__ = ["Channel", "ChannelStats", "RadioListener"]
 
 NodeId = Hashable
+
+#: Fallback speed bound (m/s) when the caller does not say how fast its nodes
+#: move — comfortably above the paper's 20 m/s random-waypoint maximum.
+DEFAULT_MAX_NODE_SPEED = 50.0
 
 
 class RadioListener(Protocol):
@@ -43,7 +85,7 @@ class RadioListener(Protocol):
         """Deliver a successfully received frame."""
 
 
-@dataclass
+@dataclass(slots=True)
 class _Transmission:
     """One frame in flight."""
 
@@ -54,7 +96,7 @@ class _Transmission:
     position: "tuple[float, float]"
 
 
-@dataclass
+@dataclass(slots=True)
 class _Reception:
     """One frame arriving at one receiver."""
 
@@ -79,12 +121,42 @@ class ChannelStats:
 class Channel:
     """The shared medium connecting every attached MAC."""
 
-    def __init__(self, simulator: Simulator, phy: PhyConfig) -> None:
+    def __init__(
+        self,
+        simulator: Simulator,
+        phy: PhyConfig,
+        *,
+        max_node_speed: float = DEFAULT_MAX_NODE_SPEED,
+        use_spatial_index: bool = True,
+    ) -> None:
         self._simulator = simulator
         self._phy = phy
         self._listeners: Dict[NodeId, RadioListener] = {}
-        self._active_transmissions: List[_Transmission] = []
+        # Attach index per node: candidate sets from the grid are re-ordered
+        # by it so neighbour lists match the brute-force scan exactly.
+        self._attach_order: Dict[NodeId, int] = {}
+        # Min-heap of (end_time, sequence, transmission); lazily pruned.
+        self._active_transmissions: List[Tuple[float, int, _Transmission]] = []
+        self._transmission_seq = 0
         self._active_receptions: Dict[NodeId, List[_Reception]] = {}
+        # Position cache, valid only while simulator.now == self._cache_time.
+        self._cache_time: float = -1.0
+        self._positions: Dict[NodeId, Tuple[float, float]] = {}
+        # Last exactly-computed position per node: (x, y, computed_at).  Range
+        # predicates use it with a drift bound (max_node_speed * age) and fall
+        # back to exact interpolation only when the answer is within the
+        # uncertainty band — see _nodes_in_range_of / is_busy_near.
+        self._last_exact: Dict[NodeId, Tuple[float, float, float]] = {}
+        # Spatial index over a position snapshot taken at _grid_time.
+        self._use_spatial_index = use_spatial_index
+        self._max_node_speed = max(float(max_node_speed), 0.0)
+        self._grid = SpatialGrid(phy.reception_range)
+        self._grid_time: float = 0.0
+        self._grid_dirty = True
+        # Rebuild once queries would have to inflate their radius by more
+        # than this; a quarter range keeps candidate sets tight while letting
+        # a 20 m/s node age a snapshot for ~3 simulated seconds.
+        self._stale_budget = 0.25 * phy.reception_range
         self.stats = ChannelStats()
 
     # -- membership -------------------------------------------------------------
@@ -92,12 +164,43 @@ class Channel:
     def attach(self, listener: RadioListener) -> None:
         """Register a node's MAC with the channel."""
         self._listeners[listener.node_id] = listener
+        self._attach_order[listener.node_id] = len(self._attach_order)
         self._active_receptions.setdefault(listener.node_id, [])
+        self._grid_dirty = True
+        self._positions.pop(listener.node_id, None)
+        self._last_exact.pop(listener.node_id, None)
 
     @property
     def phy(self) -> PhyConfig:
         """The shared physical-layer configuration."""
         return self._phy
+
+    # -- position cache ----------------------------------------------------------
+
+    def invalidate_positions(self) -> None:
+        """Forget cached positions and the grid snapshot.
+
+        Needed only if a listener's position changes by some means other than
+        the simulation clock advancing (e.g. a test harness teleporting a
+        node); normal mobility models never require it.
+        """
+        self._cache_time = -1.0
+        self._positions.clear()
+        self._last_exact.clear()
+        self._grid_dirty = True
+
+    def _position_of(self, node_id: NodeId) -> Tuple[float, float]:
+        """``node_id``'s position now, interpolated at most once per timestamp."""
+        now = self._simulator.now
+        if now != self._cache_time:
+            self._positions.clear()
+            self._cache_time = now
+        position = self._positions.get(node_id)
+        if position is None:
+            position = self._listeners[node_id].position()
+            self._positions[node_id] = position
+            self._last_exact[node_id] = (position[0], position[1], now)
+        return position
 
     # -- geometry -----------------------------------------------------------------
 
@@ -106,23 +209,83 @@ class Channel:
         dx, dy = a[0] - b[0], a[1] - b[1]
         return (dx * dx + dy * dy) ** 0.5
 
+    def _grid_slack(self) -> float:
+        """Refresh the grid snapshot if too stale; return the drift bound."""
+        now = self._simulator.now
+        slack = self._max_node_speed * (now - self._grid_time)
+        if self._grid_dirty or slack > self._stale_budget or slack < 0.0:
+            self._grid.build(
+                (node_id, *self._position_of(node_id)) for node_id in self._listeners
+            )
+            self._grid_time = now
+            self._grid_dirty = False
+            slack = 0.0
+        return slack
+
+    def _nodes_in_range_of(
+        self, origin: Tuple[float, float], exclude: NodeId
+    ) -> List[NodeId]:
+        """Nodes within reception range of ``origin``, in attach order.
+
+        Exact: candidates come from the (possibly stale) grid with the radius
+        inflated by the drift bound, then are filtered against fresh cached
+        positions with the same inclusive distance test the brute-force scan
+        uses.
+        """
+        reception_range = self._phy.reception_range
+        ox, oy = origin
+        result: List[NodeId] = []
+        if self._use_spatial_index:
+            slack = self._grid_slack()
+            now = self._simulator.now
+            last_exact = self._last_exact
+            max_speed = self._max_node_speed
+            position_of = self._position_of
+            for node_id in self._grid.candidates_within(
+                origin, reception_range + slack
+            ):
+                if node_id == exclude:
+                    continue
+                # Decide d <= range from the last exact position when the
+                # drift bound allows; interpolate only in the ambiguous band.
+                known = last_exact.get(node_id)
+                if known is not None:
+                    drift = max_speed * (now - known[2])
+                    if drift >= 0.0:
+                        dx = known[0] - ox
+                        dy = known[1] - oy
+                        distance = (dx * dx + dy * dy) ** 0.5
+                        if distance + drift <= reception_range:
+                            result.append(node_id)
+                            continue
+                        if distance - drift > reception_range:
+                            continue
+                position = position_of(node_id)
+                dx = position[0] - ox
+                dy = position[1] - oy
+                if (dx * dx + dy * dy) ** 0.5 <= reception_range:
+                    result.append(node_id)
+            result.sort(key=self._attach_order.__getitem__)
+            return result
+        for node_id in self._listeners:
+            if node_id == exclude:
+                continue
+            position = self._position_of(node_id)
+            dx = position[0] - ox
+            dy = position[1] - oy
+            if (dx * dx + dy * dy) ** 0.5 <= reception_range:
+                result.append(node_id)
+        return result
+
     def neighbors_of(self, node_id: NodeId) -> List[NodeId]:
         """Nodes currently within reception range of ``node_id``."""
-        origin = self._listeners[node_id].position()
-        result = []
-        for other_id, listener in self._listeners.items():
-            if other_id == node_id:
-                continue
-            if self._distance(origin, listener.position()) <= self._phy.reception_range:
-                result.append(other_id)
-        return result
+        origin = self._position_of(node_id)
+        return self._nodes_in_range_of(origin, exclude=node_id)
 
     def in_range(self, a: NodeId, b: NodeId) -> bool:
         """True when nodes ``a`` and ``b`` can currently hear each other."""
         return (
-            self._distance(
-                self._listeners[a].position(), self._listeners[b].position()
-            )
+            self._distance(self._position_of(a), self._position_of(b))
             <= self._phy.reception_range
         )
 
@@ -131,22 +294,42 @@ class Channel:
     def is_busy_near(self, node_id: NodeId) -> bool:
         """True when a transmission is in progress within carrier-sense range."""
         now = self._simulator.now
-        position = self._listeners[node_id].position()
-        self._prune(now)
-        for transmission in self._active_transmissions:
-            if transmission.end <= now:
-                continue
-            if (
-                self._distance(position, transmission.position)
-                <= self._phy.carrier_sense_range
-            ):
+        active = self._active_transmissions
+        while active and active[0][0] <= now:
+            heapq.heappop(active)
+        if not active:
+            return False
+        carrier_sense_range = self._phy.carrier_sense_range
+        known = self._last_exact.get(node_id) if self._use_spatial_index else None
+        if known is not None:
+            # Decide each d <= cs_range comparison from the last exact
+            # position plus a drift bound; only an answer inside the
+            # uncertainty band forces a fresh interpolation.
+            drift = self._max_node_speed * (now - known[2])
+            if drift >= 0.0:
+                px = known[0]
+                py = known[1]
+                ambiguous = False
+                for _, _, transmission in active:
+                    tx, ty = transmission.position
+                    dx = tx - px
+                    dy = ty - py
+                    distance = (dx * dx + dy * dy) ** 0.5
+                    if distance + drift <= carrier_sense_range:
+                        return True
+                    if distance - drift <= carrier_sense_range:
+                        ambiguous = True
+                if not ambiguous:
+                    return False
+        position = self._position_of(node_id)
+        px, py = position
+        for _, _, transmission in active:
+            tx, ty = transmission.position
+            dx = tx - px
+            dy = ty - py
+            if (dx * dx + dy * dy) ** 0.5 <= carrier_sense_range:
                 return True
         return False
-
-    def _prune(self, now: float) -> None:
-        self._active_transmissions = [
-            t for t in self._active_transmissions if t.end > now
-        ]
 
     # -- transmission ---------------------------------------------------------------
 
@@ -164,51 +347,52 @@ class Channel:
         """
         now = self._simulator.now
         duration = self._phy.transmission_time(frame)
-        sender = self._listeners[transmitter]
-        origin = sender.position()
+        origin = self._position_of(transmitter)
 
         transmission = _Transmission(frame, transmitter, now, now + duration, origin)
-        self._active_transmissions.append(transmission)
+        active = self._active_transmissions
+        while active and active[0][0] <= now:
+            heapq.heappop(active)
+        self._transmission_seq += 1
+        heapq.heappush(active, (now + duration, self._transmission_seq, transmission))
         self.stats.transmissions += 1
 
         receptions: List[_Reception] = []
-        for receiver_id, listener in self._listeners.items():
-            if receiver_id == transmitter:
-                continue
-            if self._distance(origin, listener.position()) > self._phy.reception_range:
-                continue
-            reception = _Reception(
-                frame, transmitter, receiver_id, now, now + duration
-            )
-            self.stats.receptions_started += 1
+        stats = self.stats
+        listeners = self._listeners
+        active_receptions = self._active_receptions
+        end = now + duration
+        for receiver_id in self._nodes_in_range_of(origin, exclude=transmitter):
+            reception = _Reception(frame, transmitter, receiver_id, now, end)
+            stats.receptions_started += 1
             # Half-duplex: a node that is itself transmitting cannot receive.
-            if listener.is_transmitting():
+            if listeners[receiver_id].is_transmitting():
                 reception.collided = True
             # Overlap with any reception already in progress collides both.
-            for other in self._active_receptions[receiver_id]:
+            for other in active_receptions[receiver_id]:
                 if other.end > now:
                     other.collided = True
                     reception.collided = True
-            self._active_receptions[receiver_id].append(reception)
+            active_receptions[receiver_id].append(reception)
             receptions.append(reception)
 
         def finish() -> None:
             delivered_to_target = False
+            is_unicast = not frame.is_broadcast
+            target = frame.receiver
             for reception in receptions:
-                active = self._active_receptions[reception.receiver]
-                if reception in active:
-                    active.remove(reception)
+                # Every reception was appended in the loop above and is only
+                # ever removed here, so it is always present.
+                active_receptions[reception.receiver].remove(reception)
                 if reception.collided:
-                    self.stats.collisions += 1
+                    stats.collisions += 1
                     continue
-                self.stats.receptions_delivered += 1
-                self._listeners[reception.receiver].radio_receive(
-                    frame, transmitter
-                )
-                if not frame.is_broadcast and reception.receiver == frame.receiver:
+                stats.receptions_delivered += 1
+                listeners[reception.receiver].radio_receive(frame, transmitter)
+                if is_unicast and reception.receiver == target:
                     delivered_to_target = True
             if on_complete is not None:
                 on_complete(delivered_to_target)
 
-        self._simulator.schedule_in(duration, finish, priority=1)
+        self._simulator.call_in(duration, finish, 1)
         return duration

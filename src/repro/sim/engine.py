@@ -1,18 +1,26 @@
 """Discrete-event simulation engine.
 
 A minimal but complete event scheduler in the style GloMoSim provides to its
-protocol models: events are ``(time, priority, sequence, callback)`` tuples on
+protocol models: events are ``(time, priority, sequence, payload)`` entries on
 a binary heap, executed in time order with FIFO tie-breaking.  Everything in
 :mod:`repro.sim` — the MAC, mobility sampling, traffic generation and the
 routing protocols' timers — runs on one :class:`Simulator` instance.
+
+The heap stores plain tuples rather than ordered :class:`Event` objects: at
+paper scale a trial pushes and pops millions of entries, and tuple comparison
+(which never reaches the trailing payload because the sequence number is
+unique) is several times cheaper than a dataclass-generated ``__lt__``.
+:class:`Event` survives as the public handle returned by the scheduling
+calls, keeping the ``cancel()`` API unchanged; hot-path callers that never
+cancel use :meth:`Simulator.call_in`, which skips the handle allocation
+entirely and queues the bare callback.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 __all__ = ["Event", "Simulator", "SimulationError"]
 
@@ -21,19 +29,51 @@ class SimulationError(RuntimeError):
     """Raised for scheduling mistakes (negative delays, running a stopped sim)."""
 
 
-@dataclass(order=True)
 class Event:
-    """One scheduled callback.  Ordering: time, then priority, then FIFO."""
+    """Handle for one scheduled callback.  Ordering: time, priority, FIFO.
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    The engine orders events by the ``(time, priority, sequence)`` tuple it
+    keeps on the heap; the handle exists so callers can :meth:`cancel` a timer
+    and inspect when it was due.
+    """
+
+    __slots__ = ("time", "priority", "sequence", "callback", "cancelled", "_simulator")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Optional[Callable[[], None]],
+        simulator: "Optional[Simulator]" = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+        self._simulator = simulator
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when it reaches the head."""
+        """Mark the event so the engine skips it when it reaches the head.
+
+        The callback reference is dropped immediately, so a cancelled timer
+        releases whatever its closure captured (packets, protocol state) even
+        while its tombstone is still queued.
+        """
+        if self.cancelled or self.callback is None:
+            # Already cancelled, or already executed: nothing left to release
+            # and the pending-event accounting must not be touched twice.
+            return
         self.cancelled = True
+        self.callback = None
+        if self._simulator is not None:
+            self._simulator._cancelled_pending += 1
+
+
+#: One heap entry.  The payload — an Event handle or, for fire-and-forget
+#: scheduling, the bare callback — is never compared: sequence is unique.
+_HeapEntry = Tuple[float, int, int, object]
 
 
 class Simulator:
@@ -43,21 +83,20 @@ class Simulator:
     channel, nodes and protocols schedule plain callbacks.  ``priority`` lets
     same-instant events order deterministically (lower runs first), which keeps
     trials reproducible under a fixed seed.
+
+    ``now`` is a plain attribute (read it, never assign it): the property
+    protocol is measurably slower at millions of reads per trial.
     """
 
     def __init__(self) -> None:
-        self._queue: List[Event] = []
+        self._queue: List[_HeapEntry] = []
         self._sequence = itertools.count()
-        self._now = 0.0
+        self.now = 0.0
         self._running = False
         self._processed = 0
+        self._cancelled_pending = 0
 
     # -- clock -----------------------------------------------------------------
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
 
     @property
     def events_processed(self) -> int:
@@ -66,8 +105,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue) - self._cancelled_pending
 
     # -- scheduling --------------------------------------------------------------
 
@@ -75,12 +114,12 @@ class Simulator:
         self, time: float, callback: Callable[[], None], *, priority: int = 0
     ) -> Event:
         """Schedule ``callback`` at absolute simulation time ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at {time:.6f}, current time is {self._now:.6f}"
+                f"cannot schedule at {time:.6f}, current time is {self.now:.6f}"
             )
-        event = Event(time, priority, next(self._sequence), callback)
-        heapq.heappush(self._queue, event)
+        event = Event(time, priority, next(self._sequence), callback, self)
+        heapq.heappush(self._queue, (time, priority, event.sequence, event))
         return event
 
     def schedule_in(
@@ -89,7 +128,26 @@ class Simulator:
         """Schedule ``callback`` after ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, priority=priority)
+        time = self.now + delay
+        event = Event(time, priority, next(self._sequence), callback, self)
+        heapq.heappush(self._queue, (time, priority, event.sequence, event))
+        return event
+
+    def call_in(
+        self, delay: float, callback: Callable[[], None], priority: int = 0
+    ) -> None:
+        """Fire-and-forget :meth:`schedule_in`: no :class:`Event` handle.
+
+        Identical ordering semantics, but the callback cannot be cancelled.
+        The MAC and channel schedule hundreds of thousands of uncancellable
+        callbacks (backoffs, jitters, end-of-air-time completions) per trial;
+        skipping the handle allocation is a measured win.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        heapq.heappush(
+            self._queue, (self.now + delay, priority, next(self._sequence), callback)
+        )
 
     # -- execution ----------------------------------------------------------------
 
@@ -100,31 +158,55 @@ class Simulator:
         the end, even if the last event fired earlier, so periodic statistics
         normalised by elapsed time are consistent across trials.
         """
+        queue = self._queue
+        pop = heapq.heappop
         self._running = True
-        while self._queue and self._running:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if until is not None and event.time > until:
-                # Put it back for a potential later run() call.
-                heapq.heappush(self._queue, event)
+        while queue and self._running:
+            entry = queue[0]
+            payload = entry[3]
+            if payload.__class__ is Event:
+                if payload.cancelled:
+                    pop(queue)
+                    self._cancelled_pending -= 1
+                    continue
+                callback = payload.callback
+            else:
+                callback = payload
+            time = entry[0]
+            if until is not None and time > until:
+                # Leave it queued for a potential later run() call.
                 break
-            self._now = event.time
+            pop(queue)
+            self.now = time
             self._processed += 1
-            event.callback()
-        if until is not None and self._now < until:
-            self._now = until
+            if callback is payload:
+                callback()
+            else:
+                # Drop the closure before executing so a fired event never
+                # pins its captured state, mirroring cancel() for tombstones.
+                payload.callback = None
+                callback()
+        if until is not None and self.now < until:
+            self.now = until
         self._running = False
 
     def step(self) -> bool:
         """Execute the single next event; returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            payload = entry[3]
+            if payload.__class__ is Event:
+                if payload.cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                callback = payload.callback
+                payload.callback = None
+            else:
+                callback = payload
+            self.now = entry[0]
             self._processed += 1
-            event.callback()
+            callback()
             return True
         return False
 

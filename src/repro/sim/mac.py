@@ -24,7 +24,7 @@ from typing import Callable, Deque, Hashable, Optional
 
 from .channel import Channel
 from .engine import Simulator
-from .packet import Frame, Packet
+from .packet import BROADCAST, Frame, Packet
 
 __all__ = ["Mac", "MacStats"]
 
@@ -69,8 +69,21 @@ class Mac:
         self._simulator = simulator
         self._channel = channel
         self._rng = rng
+        # Bound-method caches for the per-attempt hot path (a trial makes
+        # hundreds of thousands of backoff decisions).
+        self._call_in = simulator.call_in
+        self._randint = rng.randint
         self._position_provider = position_provider
         self._phy = channel.phy
+        # Contention windows per attempt, precomputed: the window formula sits
+        # on the per-attempt hot path and is pure in `attempt`, which never
+        # exceeds retry_limit + 1.
+        self._windows = tuple(
+            min(self._phy.min_contention_window * (2**attempt),
+                self._phy.max_contention_window)
+            for attempt in range(self._phy.retry_limit + 2)
+        )
+        self._slot_time = self._phy.slot_time_s
         self._queue: Deque[Frame] = deque()
         self._busy = False
         self._transmitting_until = 0.0
@@ -100,7 +113,8 @@ class Mac:
 
     def radio_receive(self, frame: Frame, transmitter: NodeId) -> None:
         """Called by the channel for each successfully decoded frame."""
-        if frame.is_broadcast or frame.receiver == self.node_id:
+        receiver = frame.receiver
+        if receiver is BROADCAST or receiver == self.node_id:
             if self._receive_handler is not None:
                 self._receive_handler(frame.packet, transmitter)
 
@@ -139,18 +153,16 @@ class Mac:
             return
         # Random pre-transmission jitter breaks synchronisation of broadcast
         # floods (every node relaying the same RREQ at the same instant).
-        jitter_slots = self._rng.randint(0, self._contention_window(attempt))
-        delay = jitter_slots * self._phy.slot_time_s
-        self._simulator.schedule_in(delay, lambda: self._transmit(frame, attempt))
+        jitter_slots = self._randint(0, self._windows[attempt])
+        self._call_in(
+            jitter_slots * self._slot_time, lambda: self._transmit(frame, attempt)
+        )
 
     def _defer(self, frame: Frame, attempt: int) -> None:
-        backoff_slots = self._rng.randint(1, self._contention_window(attempt))
-        delay = backoff_slots * self._phy.slot_time_s
-        self._simulator.schedule_in(delay, lambda: self._attempt(frame, attempt))
-
-    def _contention_window(self, attempt: int) -> int:
-        window = self._phy.min_contention_window * (2**attempt)
-        return min(window, self._phy.max_contention_window)
+        backoff_slots = self._randint(1, self._windows[attempt])
+        self._call_in(
+            backoff_slots * self._slot_time, lambda: self._attempt(frame, attempt)
+        )
 
     def _transmit(self, frame: Frame, attempt: int) -> None:
         if self._channel.is_busy_near(self.node_id):
@@ -193,4 +205,4 @@ class Mac:
 
         # Wait out our own air time before starting the next frame.
         remaining = max(self._transmitting_until - self._simulator.now, 0.0)
-        self._simulator.schedule_in(remaining, proceed, priority=2)
+        self._call_in(remaining, proceed, 2)

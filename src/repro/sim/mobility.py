@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import abc
 import random
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from .space import Position, Terrain
 
@@ -38,6 +39,17 @@ class MobilityModel(abc.ABC):
     def position_at(self, time: float) -> Position:
         """The node's position at simulation time ``time`` (seconds)."""
 
+    def position_at_xy(self, time: float) -> Tuple[float, float]:
+        """Fast path: the position as a plain ``(x, y)`` tuple.
+
+        Equivalent to ``position_at`` but lets concrete models skip the
+        :class:`Position` allocation — the channel hot path calls this once
+        per node per distinct timestamp, which at paper scale is millions of
+        lookups per trial.
+        """
+        point = self.position_at(time)
+        return (point.x, point.y)
+
 
 @dataclass(frozen=True, slots=True)
 class StaticMobility(MobilityModel):
@@ -47,6 +59,10 @@ class StaticMobility(MobilityModel):
 
     def position_at(self, time: float) -> Position:
         return self.position
+
+    def position_at_xy(self, time: float) -> Tuple[float, float]:
+        position = self.position
+        return (position.x, position.y)
 
 
 @dataclass(frozen=True, slots=True)
@@ -105,6 +121,8 @@ class RandomWaypointMobility(MobilityModel):
         self._pause_time = pause_time
         start = initial_position or terrain.random_position(rng)
         self._legs: List[Waypoint] = []
+        # Arrival times of self._legs, kept parallel for bisecting.
+        self._arrivals: List[float] = []
         self._append_leg(start_time=0.0, start=start)
 
     # -- trace construction -------------------------------------------------------
@@ -128,6 +146,7 @@ class RandomWaypointMobility(MobilityModel):
                 end=destination,
             )
         )
+        self._arrivals.append(depart_time + travel_time)
 
     def _extend_until(self, time: float) -> None:
         while self._legs[-1].arrival_time < time:
@@ -136,20 +155,37 @@ class RandomWaypointMobility(MobilityModel):
 
     # -- queries ---------------------------------------------------------------------
 
-    def position_at(self, time: float) -> Position:
+    def _leg_at(self, time: float) -> Waypoint:
         if time < 0:
             raise ValueError("time must be non-negative")
         self._extend_until(time)
-        legs = self._legs
-        # Binary search for the leg containing `time`.
-        low, high = 0, len(legs) - 1
-        while low < high:
-            mid = (low + high) // 2
-            if legs[mid].arrival_time < time:
-                low = mid + 1
-            else:
-                high = mid
-        return legs[low].position_at(time)
+        # First leg whose arrival time is >= `time` contains `time`.
+        index = bisect_left(self._arrivals, time)
+        return self._legs[index]
+
+    def position_at(self, time: float) -> Position:
+        return self._leg_at(time).position_at(time)
+
+    def position_at_xy(self, time: float) -> Tuple[float, float]:
+        # Inlined Waypoint.position_at + Position.interpolate, expression for
+        # expression, so the floats are identical to the slow path — but with
+        # no intermediate Position allocated.
+        leg = self._leg_at(time)
+        if time <= leg.depart_time:
+            start = leg.start
+            return (start.x, start.y)
+        if time >= leg.arrival_time:
+            end = leg.end
+            return (end.x, end.y)
+        travel = leg.arrival_time - leg.depart_time
+        fraction = (time - leg.depart_time) / travel if travel > 0 else 1.0
+        fraction = min(max(fraction, 0.0), 1.0)
+        start = leg.start
+        end = leg.end
+        return (
+            start.x + (end.x - start.x) * fraction,
+            start.y + (end.y - start.y) * fraction,
+        )
 
     @property
     def pause_time(self) -> float:

@@ -65,18 +65,30 @@ def build_network(
     *,
     with_traffic: bool = True,
     static_positions: bool = False,
+    use_spatial_index: bool = True,
 ) -> Network:
     """Assemble a ready-to-run :class:`Network` for one trial.
 
     ``static_positions`` replaces the random-waypoint model with static nodes
     at the same initial positions; integration tests use it to study protocol
-    behaviour without mobility.
+    behaviour without mobility.  ``use_spatial_index=False`` keeps the
+    channel on its brute-force O(N) geometry scans — results are identical
+    either way (the equivalence tests rely on this); it exists for A/B
+    benchmarking and as a fallback.
     """
     from ..workloads.cbr import CbrTrafficManager  # local import to avoid a cycle
 
     simulator = Simulator()
     streams = RngStreams(scenario.seed)
-    channel = Channel(simulator, scenario.phy)
+    # Random-waypoint legs floor the drawn speed at 0.1 m/s, so the channel's
+    # drift bound must too; static trials never move nodes at all.
+    max_node_speed = 0.0 if static_positions else max(scenario.max_speed, 0.1)
+    channel = Channel(
+        simulator,
+        scenario.phy,
+        max_node_speed=max_node_speed,
+        use_spatial_index=use_spatial_index,
+    )
     stats = TrialStats()
     terrain = scenario.terrain
     mobility_rng = streams.get("mobility")
@@ -136,9 +148,13 @@ def run_trial(
     protocol_factory: ProtocolFactory,
     *,
     static_positions: bool = False,
+    use_spatial_index: bool = True,
 ) -> TrialSummary:
     """Build a network for ``scenario``, run it, and return the summary."""
     network = build_network(
-        scenario, protocol_factory, static_positions=static_positions
+        scenario,
+        protocol_factory,
+        static_positions=static_positions,
+        use_spatial_index=use_spatial_index,
     )
     return network.run()

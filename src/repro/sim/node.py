@@ -55,9 +55,12 @@ class Node:
     # -- geometry ----------------------------------------------------------------------
 
     def position(self) -> "tuple[float, float]":
-        """Current (x, y) position from the mobility model."""
-        point = self.mobility.position_at(self.simulator.now)
-        return (point.x, point.y)
+        """Current (x, y) position from the mobility model.
+
+        Uses the mobility model's allocation-free tuple fast path; the
+        channel calls this once per node per distinct timestamp.
+        """
+        return self.mobility.position_at_xy(self.simulator.now)
 
     # -- application data path ------------------------------------------------------------
 

@@ -102,3 +102,122 @@ class TestRunControl:
             sim.schedule_in(1.0, lambda: None)
         sim.run()
         assert sim.events_processed == 5
+
+
+class TestCancellation:
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        events = [sim.schedule_in(float(i + 1), lambda: None) for i in range(4)]
+        assert sim.pending_events == 4
+        events[0].cancel()
+        events[2].cancel()
+        assert sim.pending_events == 2
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule_in(1.0, lambda: None)
+        sim.schedule_in(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_events == 1
+
+    def test_pending_events_accurate_after_run_drains_tombstones(self):
+        sim = Simulator()
+        keep = sim.schedule_in(5.0, lambda: None)
+        for i in range(10):
+            sim.schedule_in(1.0 + i * 0.1, lambda: None).cancel()
+        assert sim.pending_events == 1
+        sim.run(until=3.0)
+        assert sim.pending_events == 1
+        keep.cancel()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_firing_does_not_corrupt_count(self):
+        sim = Simulator()
+        fired = sim.schedule_in(1.0, lambda: None)
+        sim.schedule_in(2.0, lambda: None)
+        sim.run(until=1.5)
+        fired.cancel()  # too late: it already ran
+        assert sim.pending_events == 1
+
+    def test_cancel_releases_callback_reference_immediately(self):
+        import weakref
+
+        class Payload:
+            pass
+
+        sim = Simulator()
+        payload = Payload()
+        ref = weakref.ref(payload)
+        event = sim.schedule_in(1.0, lambda: payload)
+        event.cancel()
+        del payload
+        # The tombstone is still queued, but the closure is gone.
+        assert sim.pending_events == 0
+        assert ref() is None
+
+    def test_fired_event_releases_callback_reference(self):
+        import weakref
+
+        class Payload:
+            pass
+
+        sim = Simulator()
+        payload = Payload()
+        ref = weakref.ref(payload)
+        sim.schedule_at(1.0, lambda: payload)
+        later = sim.schedule_at(10.0, lambda: None)
+        sim.run(until=5.0)
+        del payload
+        assert ref() is None
+        later.cancel()
+
+    def test_step_skips_cancelled_and_updates_count(self):
+        sim = Simulator()
+        cancelled = sim.schedule_in(1.0, lambda: None)
+        sim.schedule_in(2.0, lambda: None)
+        cancelled.cancel()
+        assert sim.step()
+        assert sim.now == 2.0
+        assert sim.pending_events == 0
+        assert not sim.step()
+
+
+class TestCallIn:
+    def test_call_in_orders_with_events(self):
+        sim = Simulator()
+        order = []
+        sim.call_in(2.0, lambda: order.append("late"))
+        sim.schedule_in(1.0, lambda: order.append("early"))
+        sim.call_in(1.0, lambda: order.append("early-fifo-second"))
+        sim.run()
+        assert order == ["early", "early-fifo-second", "late"]
+
+    def test_call_in_respects_priority(self):
+        sim = Simulator()
+        order = []
+        sim.call_in(1.0, lambda: order.append("low"), 5)
+        sim.call_in(1.0, lambda: order.append("high"), 0)
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_call_in_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_in(-0.5, lambda: None)
+
+    def test_call_in_counts_as_pending(self):
+        sim = Simulator()
+        sim.call_in(1.0, lambda: None)
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_call_in_beyond_until_survives_for_later_run(self):
+        sim = Simulator()
+        fired = []
+        sim.call_in(10.0, lambda: fired.append(1))
+        sim.run(until=5.0)
+        assert fired == []
+        sim.run()
+        assert fired == [1]
