@@ -1,0 +1,103 @@
+"""Sweep-throughput benchmark: trials/minute through the job executor.
+
+PR 1 made a *single* trial fast; the job pipeline makes the *sweep* fast by
+running its independent (protocol, pause, trial) cells across a process pool.
+This benchmark tracks that layer directly: one small paper-shape sweep, run
+through the serial backend and through the pool backend, reporting trials per
+minute and the parallel speedup so executor regressions (pickling overhead,
+scheduling bugs, lost parallelism) show up in the perf trajectory next to the
+events/sec numbers of ``bench_scaling.py``.
+
+Runable two ways:
+
+* under pytest-benchmark with the rest of the suite, or
+* as a plain script — ``python benchmarks/bench_sweep.py --workers 4``
+  (the CI smoke invocation uses ``--duration 6`` to finish in seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import pytest
+
+from repro.experiments import execute_jobs, plan_sweep
+from repro.workloads.scenario import scaled_scenario
+
+#: A miniature paper-shape sweep: all five protocols, a few pause times.
+SWEEP_PROTOCOLS = ("SRP", "LDR", "AODV", "DSR", "OLSR")
+SWEEP_PAUSE_TIMES = (0.0, 10.0, 20.0)
+
+
+def sweep_jobs(*, duration: float = 20.0, trials: int = 1, seed: int = 47):
+    """The benchmark's job list (5 protocols x 3 pauses x ``trials``)."""
+    scenario = scaled_scenario(
+        node_count=20,
+        flow_count=5,
+        duration=duration,
+        terrain_width=1000.0,
+        terrain_height=350.0,
+        seed=seed,
+    )
+    return plan_sweep(
+        scenario, SWEEP_PROTOCOLS, pause_times=SWEEP_PAUSE_TIMES, trials=trials
+    )
+
+
+def run_sweep_point(workers: int, *, duration: float = 20.0, trials: int = 1):
+    """Run the sweep through one backend; returns (wall seconds, outcomes)."""
+    jobs = sweep_jobs(duration=duration, trials=trials)
+    start = time.perf_counter()
+    outcomes = execute_jobs(jobs, workers=workers)
+    return time.perf_counter() - start, outcomes
+
+
+@pytest.mark.parametrize(
+    "workers", (1, max(2, min(4, os.cpu_count() or 1))), ids=lambda w: f"{w}w"
+)
+def bench_sweep_throughput(benchmark, workers):
+    """Trials/minute through the serial (1w) and pool (Nw) backends."""
+    elapsed, outcomes = benchmark.pedantic(
+        run_sweep_point, args=(workers,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["trials"] = len(outcomes)
+    benchmark.extra_info["trials_per_minute"] = round(60.0 * len(outcomes) / elapsed, 1)
+    assert all(summary.data_sent > 0 for summary in outcomes.values())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        action="append",
+        help="worker count to run (repeatable; default: 1 and cpu count)",
+    )
+    parser.add_argument("--duration", type=float, default=20.0)
+    parser.add_argument("--trials", type=int, default=1)
+    args = parser.parse_args(argv)
+    worker_counts = tuple(args.workers) if args.workers else (1, os.cpu_count() or 1)
+
+    baseline = None
+    print(f"{'workers':>8} {'wall s':>8} {'trials':>7} {'trials/min':>11} {'speedup':>8}")
+    for workers in worker_counts:
+        elapsed, outcomes = run_sweep_point(
+            workers, duration=args.duration, trials=args.trials
+        )
+        if not all(s.data_sent > 0 for s in outcomes.values()):
+            print("error: a trial originated no data packets", file=sys.stderr)
+            return 1
+        baseline = baseline if baseline is not None else elapsed
+        print(
+            f"{workers:>8} {elapsed:>8.2f} {len(outcomes):>7} "
+            f"{60.0 * len(outcomes) / elapsed:>11.1f} {baseline / elapsed:>8.2f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

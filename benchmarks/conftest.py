@@ -1,14 +1,25 @@
 """Shared fixtures for the benchmark harness.
 
 Every table/figure benchmark derives its rows from one shared protocol x
-pause-time sweep, run once per benchmark session at a laptop-friendly scale
-(the structure of the paper's evaluation — five protocols, several pause
-times, shared per-trial scenarios — at reduced node count and duration).  The
-full paper-scale sweep is available through
-``examples/paper_evaluation.py --scale paper``.
+pause-time sweep, run once per benchmark session through the job pipeline
+(:func:`repro.experiments.run_evaluation`).  Two tiers are available:
+
+* the default laptop-friendly ``BENCH_SCALE`` (structure of the paper's
+  evaluation — five protocols, several pause times, shared per-trial
+  scenarios — at reduced node count and duration), and
+* the opt-in **paper tier**: the paper's full 5-protocol x 8-pause-time shape
+  via ``EvaluationScale.paper_tier()``.  Enable it with the ``--paper-tier``
+  pytest option or ``REPRO_PAPER_TIER=1`` in the environment; set
+  ``REPRO_SWEEP_JOBS=N`` to fan the sweep out over N worker processes
+  (results are bit-identical either way).
+
+The full paper-scale sweep is driven by the CLI instead:
+``python -m repro.experiments run --scale paper --jobs N --out DIR``.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -32,7 +43,38 @@ BENCH_SCALE = EvaluationScale(
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-tier",
+        action="store_true",
+        default=False,
+        help="run the shared sweep at the paper-shape tier "
+        "(5 protocols x 8 pause times; also REPRO_PAPER_TIER=1)",
+    )
+
+
+def _paper_tier_enabled(config) -> bool:
+    if config.getoption("--paper-tier", default=False):
+        return True
+    return os.environ.get("REPRO_PAPER_TIER", "").strip() not in ("", "0")
+
+
+def _sweep_workers() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_SWEEP_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
 @pytest.fixture(scope="session")
-def evaluation_results():
+def evaluation_scale(request) -> EvaluationScale:
+    """The tier the shared sweep runs at (bench by default, paper on opt-in)."""
+    if _paper_tier_enabled(request.config):
+        return EvaluationScale.paper_tier()
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def evaluation_results(evaluation_scale):
     """The shared sweep behind Table I and Figures 3–7."""
-    return run_evaluation(BENCH_SCALE)
+    return run_evaluation(evaluation_scale, workers=_sweep_workers())

@@ -4,20 +4,35 @@
 This is the driver behind deliverable (d): for every table and figure in the
 paper's Section V it runs the protocol x pause-time x trial sweep, aggregates
 the metrics with 95% confidence intervals and prints the rows / series the
-paper reports.
+paper reports.  It rides on the job pipeline in :mod:`repro.experiments`:
+``--jobs N`` fans the sweep's independent trial cells over N worker processes,
+and ``--out DIR`` persists each completed cell so an interrupted run resumes
+instead of restarting (results are bit-identical whatever the backend).
 
 Scales
 ------
-* ``--scale smoke``      a seconds-long sanity run (default for CI)
-* ``--scale benchmark``  the laptop-sized sweep used by ``pytest benchmarks/``
-* ``--scale paper``      the full 100-node, 8-pause-time, 10-trial setup of
-                         Section V (hours of CPU time in pure Python)
+* ``--scale smoke``       a seconds-long sanity run (default for CI)
+* ``--scale benchmark``   the laptop-sized sweep used by ``pytest benchmarks/``
+* ``--scale paper-tier``  the paper's full 5 x 8 shape at nightly-CI cost
+* ``--scale paper``       the full 100-node, 8-pause-time, 10-trial setup of
+                          Section V (hours of CPU serially; use ``--jobs``)
 
 Examples
 --------
     python examples/paper_evaluation.py --scale smoke
     python examples/paper_evaluation.py --scale benchmark --experiment fig7
-    python examples/paper_evaluation.py --scale paper --trials 3
+    python examples/paper_evaluation.py --scale paper --jobs 8 --out sweep-paper
+
+The sweep engine CLI (``python -m repro.experiments``) is the first-class way
+to drive long runs — it adds ``resume`` (continue an interrupted sweep from
+its store directory) and ``report`` (re-render tables/figures from disk
+without simulating)::
+
+    python -m repro.experiments run --scale paper --jobs 8 --out sweep-paper
+    python -m repro.experiments resume --out sweep-paper --jobs 8
+    python -m repro.experiments report --out sweep-paper
+
+This script is the thin, keep-it-on-one-screen version of the same flow.
 """
 
 from __future__ import annotations
@@ -28,8 +43,10 @@ import time
 
 from repro.experiments import (
     EXPERIMENTS,
-    EvaluationScale,
+    SCALE_NAMES,
+    ResultsStore,
     figure_text,
+    resolve_scale,
     run_evaluation,
     table1_text,
 )
@@ -39,7 +56,7 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--scale",
-        choices=("smoke", "benchmark", "paper"),
+        choices=tuple(SCALE_NAMES),
         default="smoke",
         help="how large a sweep to run (default: smoke)",
     )
@@ -55,42 +72,63 @@ def parse_args(argv=None) -> argparse.Namespace:
         default=None,
         help="override the number of trials per data point",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="persist completed cells in DIR so the sweep is resumable",
+    )
     return parser.parse_args(argv)
-
-
-def resolve_scale(name: str, trials_override=None) -> EvaluationScale:
-    scale = {
-        "smoke": EvaluationScale.smoke,
-        "benchmark": EvaluationScale.benchmark,
-        "paper": EvaluationScale.paper,
-    }[name]()
-    if trials_override is not None:
-        scale = EvaluationScale(
-            scale.name, scale.scenario, scale.pause_times, trials_override
-        )
-    return scale
 
 
 def main(argv=None) -> int:
     args = parse_args(argv)
-    scale = resolve_scale(args.scale, args.trials)
-    total_trials = (
-        len(scale.pause_times) * scale.trials * 5  # five protocols
-    )
+    scale = resolve_scale(args.scale, trials=args.trials)
     print(
         f"Running the '{scale.name}' sweep: {scale.scenario.node_count} nodes, "
         f"{len(scale.pause_times)} pause times x {scale.trials} trials "
-        f"({total_trials} simulations)..."
+        f"({scale.job_count} simulations, {args.jobs} worker"
+        f"{'s' if args.jobs != 1 else ''})..."
     )
+    store = None
+    if args.out is not None:
+        store = ResultsStore(args.out)
+        try:
+            store.ensure_meta(
+                scale=scale.name,
+                scenario=scale.scenario,
+                protocols=EXPERIMENTS["table1"].protocols,
+                pause_times=scale.pause_times,
+                trials=scale.trials,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     started = time.time()
 
-    def progress(protocol, pause_time, trial):
-        print(f"  [{time.time() - started:7.1f}s] {protocol:5s} "
-              f"pause={pause_time:g}s trial={trial}", flush=True)
+    def progress(event):
+        job = event.job
+        state = "cached" if event.cached else f"{event.elapsed:7.1f}s"
+        print(
+            f"  [{event.completed:>3}/{event.total}] {job.protocol:5s} "
+            f"pause={job.pause_time:g}s trial={job.trial} ({state})",
+            flush=True,
+        )
 
-    results = run_evaluation(scale, progress=progress)
+    results = run_evaluation(
+        scale, workers=args.jobs, store=store, progress=progress
+    )
     elapsed = time.time() - started
     print(f"\nSweep finished in {elapsed:.1f} s.\n")
+    if store is not None:
+        store.write_results(results)
 
     wanted = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for experiment_id in wanted:

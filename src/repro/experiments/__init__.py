@@ -1,30 +1,52 @@
-"""Experiment harness regenerating the paper's Table I and Figures 3–7."""
+"""Experiment harness regenerating the paper's Table I and Figures 3–7.
 
+Organised as a job pipeline since PR 2: :mod:`~repro.experiments.jobs` plans a
+sweep as independent :class:`TrialJob` cells, :mod:`~repro.experiments.executor`
+runs them serially or over a process pool, :mod:`~repro.experiments.store`
+persists completed cells so interrupted sweeps resume, and
+``python -m repro.experiments`` drives it all from the command line.
+"""
+
+from .executor import ExecutionProgress, execute_jobs, run_job
+from .jobs import TrialJob, plan_sweep, sweep_shape
 from .paper import (
     EXPERIMENTS,
     PAPER_PROTOCOLS,
+    SCALE_NAMES,
     SEQUENCE_NUMBER_PROTOCOLS,
     EvaluationScale,
     ExperimentDefinition,
     figure,
     figure_text,
+    resolve_scale,
     run_evaluation,
     table1,
     table1_text,
 )
-from .runner import SweepResults, run_sweep
+from .runner import SweepResults, collect_sweep, run_sweep
+from .store import ResultsStore
 
 __all__ = [
     "EXPERIMENTS",
     "PAPER_PROTOCOLS",
+    "SCALE_NAMES",
     "SEQUENCE_NUMBER_PROTOCOLS",
     "EvaluationScale",
+    "ExecutionProgress",
     "ExperimentDefinition",
+    "ResultsStore",
+    "SweepResults",
+    "TrialJob",
+    "collect_sweep",
+    "execute_jobs",
     "figure",
     "figure_text",
+    "plan_sweep",
+    "resolve_scale",
     "run_evaluation",
+    "run_job",
+    "run_sweep",
+    "sweep_shape",
     "table1",
     "table1_text",
-    "SweepResults",
-    "run_sweep",
 ]

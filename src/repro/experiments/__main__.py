@@ -1,0 +1,276 @@
+"""Command-line sweep engine: ``python -m repro.experiments``.
+
+The first-class way to run the paper's evaluation.  Three subcommands drive
+the plan -> execute -> collect pipeline against a persistent on-disk store:
+
+``run``
+    Plan the sweep for a scale, run every cell not already in the store
+    (serially or across ``--jobs`` worker processes), and write the assembled
+    ``results.json``.  Safe to re-run: completed cells are never recomputed.
+``resume``
+    Continue an interrupted sweep from its store directory alone — the sweep's
+    parameters are read back from ``sweep.json``, so no scale flags needed.
+``report``
+    Render Table I and Figures 3-7 from the cells on disk, without running
+    any simulation.
+
+Examples::
+
+    python -m repro.experiments run --scale smoke --jobs 2 --out sweep-smoke
+    python -m repro.experiments run --scale paper --jobs 8 --out sweep-paper
+    python -m repro.experiments resume --out sweep-paper --jobs 8
+    python -m repro.experiments report --out sweep-paper --experiment fig4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from .executor import ExecutionProgress, execute_jobs
+from .jobs import TrialJob, plan_sweep
+from .paper import (
+    EXPERIMENTS,
+    PAPER_PROTOCOLS,
+    SCALE_NAMES,
+    figure_text,
+    resolve_scale,
+    table1_text,
+)
+from .runner import collect_sweep
+from .store import ResultsStore
+
+__all__ = ["main"]
+
+
+def _format_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "eta --"
+    if seconds >= 3600:
+        return f"eta {seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"eta {seconds / 60:.1f}m"
+    return f"eta {seconds:.0f}s"
+
+
+def _print_progress(event: ExecutionProgress) -> None:
+    job = event.job
+    state = "cached" if event.cached else f"{event.elapsed:7.1f}s"
+    print(
+        f"  [{event.completed:>4}/{event.total}] {job.protocol:<5} "
+        f"pause={job.pause_time:<6g} trial={job.trial:<3} "
+        f"({state}, {_format_eta(event.eta)})",
+        flush=True,
+    )
+
+
+def _execute_and_collect(
+    store: ResultsStore,
+    jobs: List[TrialJob],
+    *,
+    pause_times: Sequence[float],
+    trials: int,
+    protocols: Sequence[str],
+    workers: int,
+    quiet: bool,
+) -> int:
+    cached = len(jobs) - len(store.missing(jobs))
+    print(
+        f"Executing {len(jobs)} trial jobs "
+        f"({cached} already in store, {len(jobs) - cached} to run, "
+        f"{workers} worker{'s' if workers != 1 else ''})..."
+    )
+    started = time.monotonic()
+    outcomes = execute_jobs(
+        jobs,
+        workers=workers,
+        store=store,
+        progress=None if quiet else _print_progress,
+    )
+    elapsed = time.monotonic() - started
+    results = collect_sweep(
+        outcomes, pause_times=pause_times, trials=trials, protocols=protocols
+    )
+    store.write_results(results)
+    print(
+        f"Sweep complete in {elapsed:.1f} s: {len(outcomes)} cells in "
+        f"{store.root} (results.json written)."
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scale = resolve_scale(args.scale, trials=args.trials)
+    protocols: Sequence[str] = tuple(args.protocols or PAPER_PROTOCOLS)
+    store = ResultsStore(args.out)
+    try:
+        store.ensure_meta(
+            scale=scale.name,
+            scenario=scale.scenario,
+            protocols=protocols,
+            pause_times=scale.pause_times,
+            trials=scale.trials,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    jobs = plan_sweep(
+        scale.scenario,
+        protocols,
+        pause_times=scale.pause_times,
+        trials=scale.trials,
+    )
+    print(
+        f"Sweep '{scale.name}': {scale.scenario.node_count} nodes, "
+        f"{len(protocols)} protocols x {len(scale.pause_times)} pause times "
+        f"x {scale.trials} trials = {len(jobs)} simulations -> {store.root}"
+    )
+    return _execute_and_collect(
+        store,
+        jobs,
+        pause_times=scale.pause_times,
+        trials=scale.trials,
+        protocols=protocols,
+        workers=args.jobs,
+        quiet=args.quiet,
+    )
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.out)
+    try:
+        meta = store.require_meta()
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    jobs = store.planned_jobs()
+    print(
+        f"Resuming sweep '{meta['scale']}' from {store.root}: "
+        f"{len(jobs) - len(store.missing(jobs))}/{len(jobs)} cells already done."
+    )
+    return _execute_and_collect(
+        store,
+        jobs,
+        pause_times=meta["pause_times"],
+        trials=meta["trials"],
+        protocols=meta["protocols"],
+        workers=args.jobs,
+        quiet=args.quiet,
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.out)
+    try:
+        results = store.load_results()
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    total = len(store.planned_jobs())
+    done = len(results.summaries)
+    if done < total:
+        print(
+            f"note: store holds {done}/{total} cells; "
+            f"reporting the completed subset (run `resume` to finish)",
+            file=sys.stderr,
+        )
+    wanted = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in wanted:
+        print("=" * 72)
+        if experiment_id == "table1":
+            print(table1_text(results))
+        else:
+            print(figure_text(experiment_id, results))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_store_arg(p: argparse.ArgumentParser, required: bool = False) -> None:
+        p.add_argument(
+            "--out",
+            required=required,
+            default=None,
+            help="results-store directory (default: sweep-<scale>)",
+        )
+
+    def add_exec_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes (1 = serial in-process; default: 1)",
+        )
+        p.add_argument(
+            "--quiet", action="store_true", help="suppress per-cell progress lines"
+        )
+
+    run = sub.add_parser("run", help="plan and run a sweep (reusing stored cells)")
+    run.add_argument(
+        "--scale",
+        choices=tuple(SCALE_NAMES),
+        default="smoke",
+        help="how large a sweep to run (default: smoke)",
+    )
+    run.add_argument(
+        "--trials", type=int, default=None, help="override trials per pause time"
+    )
+    run.add_argument(
+        "--protocols",
+        nargs="+",
+        metavar="PROTO",
+        default=None,
+        help=f"protocol subset (default: {' '.join(PAPER_PROTOCOLS)})",
+    )
+    add_store_arg(run)
+    add_exec_args(run)
+    run.set_defaults(func=_cmd_run)
+
+    resume = sub.add_parser(
+        "resume", help="continue an interrupted sweep from its store directory"
+    )
+    add_store_arg(resume, required=True)
+    add_exec_args(resume)
+    resume.set_defaults(func=_cmd_resume)
+
+    report = sub.add_parser(
+        "report", help="render Table I / Figures 3-7 from the store, no simulation"
+    )
+    add_store_arg(report, required=True)
+    report.add_argument(
+        "--experiment",
+        choices=("all",) + tuple(EXPERIMENTS),
+        default="all",
+        help="regenerate one table/figure only (default: all)",
+    )
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "out", None) is None and args.command == "run":
+        args.out = f"sweep-{args.scale}"
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; completed cells are already on disk.
+        sys.exit(0)
+    except KeyboardInterrupt:
+        print("\ninterrupted; completed cells are on disk — continue with "
+              "`python -m repro.experiments resume --out DIR`", file=sys.stderr)
+        sys.exit(130)

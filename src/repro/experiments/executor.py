@@ -1,0 +1,154 @@
+"""Serial and process-pool execution of trial jobs, with progress and caching.
+
+Every :class:`~repro.experiments.jobs.TrialJob` is a pure function of its own
+fields, so the executor is free to run jobs in any order and on any worker:
+the result map is keyed by job, and the assembled
+:class:`~repro.experiments.runner.SweepResults` is bit-identical whichever
+backend ran it.  :func:`execute_jobs` is the single entry point:
+
+* ``workers <= 1`` runs jobs in order in the calling process (the legacy
+  ``run_sweep`` behaviour);
+* ``workers > 1`` fans jobs out over a ``ProcessPoolExecutor`` with bounded
+  workers, collecting results as they complete;
+* an optional :class:`~repro.experiments.store.ResultsStore` makes the run
+  persistent and resumable: completed cells are loaded instead of re-run, and
+  every fresh result is written to disk the moment it arrives, so an
+  interrupted sweep loses at most the cells in flight.
+
+Progress is reported as structured :class:`ExecutionProgress` events
+(completed/total, cache hit or fresh run, wall-clock elapsed and a simple ETA)
+rather than print statements, so the CLI, the benchmark harness and tests can
+each render or inspect them as they like.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..protocols import protocol_factory
+from ..sim.network import run_trial
+from ..sim.stats import TrialSummary
+from .jobs import TrialJob
+from .store import ResultsStore
+
+__all__ = ["ExecutionProgress", "execute_jobs", "run_job"]
+
+#: Observer of one completed (or cache-loaded) job.
+ProgressListener = Callable[["ExecutionProgress"], None]
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionProgress:
+    """One structured progress event: a job just finished (or was loaded)."""
+
+    job: TrialJob
+    completed: int  #: jobs done so far, cached cells included
+    total: int  #: jobs in this sweep
+    cached: bool  #: True when the result came from the store, not a run
+    elapsed: float  #: wall-clock seconds since execute_jobs started
+    eta: Optional[float]  #: estimated seconds remaining (None until measurable)
+
+    @property
+    def fraction(self) -> float:
+        """Completed fraction in [0, 1]."""
+        return self.completed / self.total if self.total else 1.0
+
+
+def run_job(job: TrialJob) -> TrialSummary:
+    """Run one trial job to completion (the process-pool worker function)."""
+    return run_trial(job.scenario, protocol_factory(job.protocol))
+
+
+def _pool_run_job(job: TrialJob) -> Tuple[TrialJob, TrialSummary]:
+    """Worker wrapper returning the job with its summary (futures complete out
+    of submission order, so each result must carry its own identity)."""
+    return job, run_job(job)
+
+
+class _ProgressTracker:
+    """Counts completions and derives ETA from the fresh-run rate only
+    (cached cells are effectively free and would skew the estimate)."""
+
+    def __init__(self, total: int, listener: Optional[ProgressListener]) -> None:
+        self.total = total
+        self.listener = listener
+        self.completed = 0
+        self.fresh_done = 0
+        self.started = time.monotonic()
+
+    def record(self, job: TrialJob, *, cached: bool) -> None:
+        self.completed += 1
+        if not cached:
+            self.fresh_done += 1
+        if self.listener is None:
+            return
+        elapsed = time.monotonic() - self.started
+        eta: Optional[float] = None
+        remaining = self.total - self.completed
+        if self.fresh_done > 0 and remaining > 0:
+            eta = elapsed / self.fresh_done * remaining
+        elif remaining == 0:
+            eta = 0.0
+        self.listener(
+            ExecutionProgress(
+                job=job,
+                completed=self.completed,
+                total=self.total,
+                cached=cached,
+                elapsed=elapsed,
+                eta=eta,
+            )
+        )
+
+
+def execute_jobs(
+    jobs: Sequence[TrialJob],
+    *,
+    workers: int = 1,
+    store: Optional[ResultsStore] = None,
+    progress: Optional[ProgressListener] = None,
+) -> Dict[TrialJob, TrialSummary]:
+    """Run every job, returning ``{job: summary}`` for the whole sweep.
+
+    With a ``store``, cells already on disk are loaded (reported as
+    ``cached=True`` progress events) and fresh results are persisted as they
+    complete.  Results are independent of ``workers`` and of completion order:
+    at fixed seeds the returned map is bit-identical across the serial path,
+    the pool path and the legacy monolithic loop.
+    """
+    tracker = _ProgressTracker(len(jobs), progress)
+    outcomes: Dict[TrialJob, TrialSummary] = {}
+
+    pending = []
+    for job in jobs:
+        cached = store.get(job) if store is not None else None
+        if cached is not None:
+            outcomes[job] = cached
+            tracker.record(job, cached=True)
+        else:
+            pending.append(job)
+
+    if workers <= 1:
+        for job in pending:
+            summary = run_job(job)
+            if store is not None:
+                store.put(job, summary)
+            outcomes[job] = summary
+            tracker.record(job, cached=False)
+        return outcomes
+
+    max_workers = min(workers, len(pending)) or 1
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = {pool.submit(_pool_run_job, job) for job in pending}
+        while futures:
+            done, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                job, summary = future.result()
+                if store is not None:
+                    store.put(job, summary)
+                outcomes[job] = summary
+                tracker.record(job, cached=False)
+    return outcomes

@@ -8,21 +8,33 @@ sweep of their own).
 
 Scale: the paper uses 100 nodes, 30 flows, 900 s, 8 pause times and 10 trials
 on GloMoSim.  ``EvaluationScale`` lets callers choose between the full
-``paper`` scale (hours of CPU) and the ``benchmark`` / ``smoke`` scales used
-by the pytest-benchmark harness and the test-suite, which keep the same
-structure at laptop cost.  EXPERIMENTS.md records the comparison between the
-paper's numbers and the numbers measured with the benchmark scale.
+``paper`` scale (hours of CPU serially — hence the parallel, resumable sweep
+engine), the reduced ``paper-tier`` scale (the paper's full 5 x 8 shape at
+nightly-CI cost) and the ``benchmark`` / ``smoke`` scales used by the
+pytest-benchmark harness and the test-suite, which keep the same structure at
+laptop cost.  ``EXPERIMENTS.md`` (repo root) records the benchmark-scale
+numbers per figure/table and the ``python -m repro.experiments`` commands that
+regenerate them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
-from ..metrics.confidence import ConfidenceInterval, mean_confidence_interval
-from ..metrics.report import MetricSeries, format_series, format_table, series_from_results
+from ..metrics.confidence import ConfidenceInterval
+from ..metrics.report import (
+    MetricSeries,
+    format_series,
+    format_table,
+    interval_or_empty,
+    series_from_results,
+)
 from ..workloads.scenario import PAPER_PAUSE_TIMES, PAPER_SCENARIO, Scenario, scaled_scenario
-from .runner import SweepResults, run_sweep
+from .executor import ExecutionProgress, execute_jobs
+from .jobs import plan_sweep
+from .runner import SweepResults, collect_sweep
+from .store import ResultsStore
 
 __all__ = [
     "EvaluationScale",
@@ -30,6 +42,8 @@ __all__ = [
     "SEQUENCE_NUMBER_PROTOCOLS",
     "EXPERIMENTS",
     "ExperimentDefinition",
+    "SCALE_NAMES",
+    "resolve_scale",
     "run_evaluation",
     "table1",
     "figure",
@@ -50,10 +64,38 @@ class EvaluationScale:
     pause_times: Sequence[float]
     trials: int
 
+    @property
+    def job_count(self) -> int:
+        """Simulations in one sweep of this scale (five-protocol default)."""
+        return len(self.pause_times) * self.trials * len(PAPER_PROTOCOLS)
+
     @classmethod
     def paper(cls) -> "EvaluationScale":
         """The full parameters from Section V (hours of CPU time)."""
         return cls("paper", PAPER_SCENARIO, PAPER_PAUSE_TIMES, trials=10)
+
+    @classmethod
+    def paper_tier(cls) -> "EvaluationScale":
+        """The paper's full 5-protocol x 8-pause-time shape at nightly-CI cost.
+
+        Half the paper's node count on a half-area terrain (same density),
+        one fifth the duration with pause times scaled to match, two trials:
+        every mechanism of the full evaluation is active, in about an hour of
+        single-core CPU (minutes across a worker pool).
+        """
+        return cls(
+            "paper-tier",
+            scaled_scenario(
+                node_count=50,
+                flow_count=15,
+                duration=180.0,
+                terrain_width=1100.0,
+                terrain_height=600.0,
+            ),
+            # The paper's eight pause times scaled by duration (180/900).
+            pause_times=tuple(p * 180.0 / 900.0 for p in PAPER_PAUSE_TIMES),
+            trials=2,
+        )
 
     @classmethod
     def benchmark(cls) -> "EvaluationScale":
@@ -93,7 +135,7 @@ class ExperimentDefinition:
     description: str
 
 
-#: The per-experiment index (mirrored in DESIGN.md and EXPERIMENTS.md).
+#: The per-experiment index (mirrored in EXPERIMENTS.md at the repo root).
 EXPERIMENTS: Dict[str, ExperimentDefinition] = {
     "table1": ExperimentDefinition(
         "table1",
@@ -145,20 +187,61 @@ EXPERIMENTS: Dict[str, ExperimentDefinition] = {
 TABLE1_METRICS: Sequence[str] = ("delivery_ratio", "network_load", "latency")
 
 
+#: CLI scale names -> factories (the job pipeline's user-facing vocabulary).
+SCALE_NAMES: Dict[str, Callable[[], EvaluationScale]] = {
+    "smoke": EvaluationScale.smoke,
+    "benchmark": EvaluationScale.benchmark,
+    "paper-tier": EvaluationScale.paper_tier,
+    "paper": EvaluationScale.paper,
+}
+
+
+def resolve_scale(
+    name: str,
+    *,
+    trials: Optional[int] = None,
+) -> EvaluationScale:
+    """An :class:`EvaluationScale` by CLI name, optionally overriding trials."""
+    try:
+        scale = SCALE_NAMES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; expected one of {sorted(SCALE_NAMES)}"
+        ) from None
+    if trials is not None:
+        scale = EvaluationScale(scale.name, scale.scenario, scale.pause_times, trials)
+    return scale
+
+
 def run_evaluation(
     scale: Optional[EvaluationScale] = None,
     *,
     protocols: Sequence[str] = PAPER_PROTOCOLS,
-    progress=None,
+    workers: int = 1,
+    store: Optional[ResultsStore] = None,
+    progress: Optional[Callable[[ExecutionProgress], None]] = None,
 ) -> SweepResults:
-    """Run the shared sweep every table/figure is derived from."""
+    """Run the shared sweep every table/figure is derived from.
+
+    Thin wrapper over the job pipeline: ``workers`` selects the serial
+    (``<= 1``) or process-pool backend, ``store`` makes the run persistent and
+    resumable, and ``progress`` receives structured
+    :class:`~repro.experiments.executor.ExecutionProgress` events.  Results at
+    a fixed scale are bit-identical whatever the backend.
+    """
     scale = scale or EvaluationScale.benchmark()
-    return run_sweep(
+    jobs = plan_sweep(
         scale.scenario,
         protocols,
         pause_times=scale.pause_times,
         trials=scale.trials,
-        progress=progress,
+    )
+    outcomes = execute_jobs(jobs, workers=workers, store=store, progress=progress)
+    return collect_sweep(
+        outcomes,
+        pause_times=scale.pause_times,
+        trials=scale.trials,
+        protocols=protocols,
     )
 
 
@@ -167,7 +250,7 @@ def table1(results: SweepResults) -> Dict[str, Dict[str, ConfidenceInterval]]:
     table: Dict[str, Dict[str, ConfidenceInterval]] = {}
     for protocol in results.protocols:
         table[protocol] = {
-            metric: mean_confidence_interval(
+            metric: interval_or_empty(
                 results.metric_over_all_pauses(protocol, metric)
             )
             for metric in TABLE1_METRICS

@@ -2,27 +2,38 @@
 
 The paper's evaluation varies the random-waypoint pause time over eight values
 and runs ten trials per point, with every protocol seeing the identical
-mobility and traffic script in a given trial.  :func:`run_sweep` reproduces
-that design: for each (pause time, trial) pair it derives one scenario — same
-seed for every protocol — and runs every protocol on it, collecting
-:class:`~repro.sim.stats.TrialSummary` objects into a :class:`SweepResults`
-container the figure/table code consumes.
+mobility and traffic script in a given trial.  Since PR 2 the sweep is an
+explicit job pipeline — :func:`~repro.experiments.jobs.plan_sweep` emits one
+:class:`~repro.experiments.jobs.TrialJob` per cell,
+:func:`~repro.experiments.executor.execute_jobs` runs them (serially or over a
+process pool, optionally persisted in a
+:class:`~repro.experiments.store.ResultsStore`), and :func:`collect_sweep`
+assembles the :class:`SweepResults` container the figure/table code consumes.
+:func:`run_sweep` survives as a thin compatibility wrapper over that pipeline
+with the original signature and serial semantics.
+
+``SweepResults`` round-trips through JSON (:meth:`SweepResults.to_json` /
+:meth:`SweepResults.from_json`) so a finished sweep can be archived as one
+file and re-reported without touching the simulator.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..metrics.collectors import extract_metric
-from ..protocols import protocol_factory
-from ..sim.network import run_trial
 from ..sim.stats import TrialSummary
 from ..workloads.scenario import Scenario
+from .jobs import TrialJob, plan_sweep
 
-__all__ = ["SweepResults", "run_sweep"]
+__all__ = ["SweepResults", "collect_sweep", "run_sweep"]
 
+#: Legacy progress signature: (protocol, pause_time, trial), called per cell.
 ProgressCallback = Callable[[str, float, int], None]
+
+RESULTS_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -77,6 +88,73 @@ class SweepResults:
             for protocol in self.protocols
         }
 
+    # -- serialization ---------------------------------------------------------------
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """The whole sweep as one JSON document (cells in sorted-key order)."""
+        cells = [
+            {
+                "protocol": protocol,
+                "pause_time": pause_time,
+                "trial": trial,
+                "summary": summary.to_dict(),
+            }
+            for (protocol, pause_time, trial), summary in sorted(
+                self.summaries.items()
+            )
+        ]
+        return json.dumps(
+            {
+                "version": RESULTS_FORMAT_VERSION,
+                "pause_times": list(self.pause_times),
+                "trials": self.trials,
+                "protocols": list(self.protocols),
+                "cells": cells,
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResults":
+        """Rebuild a sweep written by :meth:`to_json`."""
+        data = json.loads(text)
+        version = data.get("version")
+        if version != RESULTS_FORMAT_VERSION:
+            raise ValueError(f"unsupported sweep results version: {version!r}")
+        results = cls(
+            pause_times=list(data["pause_times"]),
+            trials=data["trials"],
+            protocols=list(data["protocols"]),
+        )
+        for cell in data["cells"]:
+            results.add(
+                cell["protocol"],
+                cell["pause_time"],
+                cell["trial"],
+                TrialSummary.from_dict(cell["summary"]),
+            )
+        return results
+
+
+def collect_sweep(
+    outcomes: Mapping[TrialJob, TrialSummary],
+    *,
+    pause_times: Sequence[float],
+    trials: int,
+    protocols: Sequence[str],
+) -> SweepResults:
+    """Assemble executor outcomes into a :class:`SweepResults` container.
+
+    Keyed by each job's (protocol, pause, trial) cell, so the result is the
+    same whatever order the executor completed the jobs in.
+    """
+    results = SweepResults(
+        pause_times=list(pause_times), trials=trials, protocols=list(protocols)
+    )
+    for job, summary in outcomes.items():
+        results.add(job.protocol, job.pause_time, job.trial, summary)
+    return results
+
 
 def run_sweep(
     base_scenario: Scenario,
@@ -88,21 +166,23 @@ def run_sweep(
 ) -> SweepResults:
     """Run every protocol over every (pause time, trial) combination.
 
-    Trial ``k`` at pause time ``p`` uses seed ``base_scenario.seed + k`` (and
-    the pause time folded into the scenario), so all protocols in that cell
-    share mobility and traffic exactly, as in the paper.
+    Compatibility wrapper over the job pipeline: plans the sweep, executes it
+    serially in-process and collects the results — bit-identical to both the
+    pre-pipeline monolithic loop and the parallel executor at fixed seeds.
+    The ``progress`` callback keeps the legacy per-cell
+    ``(protocol, pause_time, trial)`` signature.
     """
-    results = SweepResults(
-        pause_times=list(pause_times), trials=trials, protocols=list(protocols)
+    from .executor import run_job
+
+    jobs = plan_sweep(
+        base_scenario, protocols, pause_times=pause_times, trials=trials
     )
-    for pause_time in pause_times:
-        for trial in range(trials):
-            scenario = base_scenario.with_pause_time(pause_time).with_seed(
-                base_scenario.seed + trial
-            )
-            for protocol in protocols:
-                if progress is not None:
-                    progress(protocol, pause_time, trial)
-                summary = run_trial(scenario, protocol_factory(protocol))
-                results.add(protocol, pause_time, trial, summary)
-    return results
+    outcomes: Dict[TrialJob, TrialSummary] = {}
+    for job in jobs:
+        # The legacy callback fires *before* each cell runs, as it always did.
+        if progress is not None:
+            progress(job.protocol, job.pause_time, job.trial)
+        outcomes[job] = run_job(job)
+    return collect_sweep(
+        outcomes, pause_times=pause_times, trials=trials, protocols=protocols
+    )

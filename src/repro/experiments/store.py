@@ -1,0 +1,235 @@
+"""JSON-on-disk results store: completed trial cells survive interruption.
+
+A paper-scale sweep is 400 independent 900 s simulations; killing it at cell
+399 must not cost the first 398.  :class:`ResultsStore` persists each completed
+:class:`~repro.experiments.jobs.TrialJob` as one small JSON file named by the
+job's content key, so a re-planned sweep (same parameters -> same keys) reuses
+every completed cell and only the missing ones run.  One-file-per-cell keeps
+the store crash-safe without locking: files are written to a temp name and
+atomically renamed, so a store never contains a half-written cell.
+
+Layout::
+
+    <root>/
+        sweep.json        sweep-level metadata (scale, scenario, protocols, ...)
+        results.json      optional SweepResults dump written after a full run
+        jobs/<key>.json   {"version", "job": {...}, "summary": {...}} per cell
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+from ..sim.stats import TrialSummary
+from .jobs import TrialJob, plan_sweep
+
+if TYPE_CHECKING:  # import cycle guard: runner -> executor -> store
+    from .runner import SweepResults
+
+__all__ = ["ResultsStore"]
+
+STORE_VERSION = 1
+
+
+def _atomic_write_json(path: Path, data: Any) -> None:
+    """Write JSON to ``path`` via a temp file + rename, so readers never see a
+    partial file and a killed writer leaves no corrupt cell behind."""
+    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(data, sort_keys=True, indent=1), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class ResultsStore:
+    """A directory of per-job trial summaries keyed by job content hash."""
+
+    def __init__(self, root: os.PathLike | str) -> None:
+        # No mkdir here: read-only uses (report/resume on a mistyped path)
+        # must not litter empty directories. Writers create lazily.
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.meta_path = self.root / "sweep.json"
+        self.results_path = self.root / "results.json"
+
+    # -- per-cell results ------------------------------------------------------------
+
+    def _cell_path(self, key: str) -> Path:
+        return self.jobs_dir / f"{key}.json"
+
+    def put(self, job: TrialJob, summary: TrialSummary) -> None:
+        """Persist one completed cell (atomic; safe under concurrent writers
+        because every job has a distinct key)."""
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(
+            self._cell_path(job.content_key),
+            {
+                "version": STORE_VERSION,
+                "job": job.to_dict(),
+                "summary": summary.to_dict(),
+            },
+        )
+
+    def get(self, job: TrialJob) -> Optional[TrialSummary]:
+        """The stored summary for ``job``, or ``None`` if the cell is missing."""
+        path = self._cell_path(job.content_key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        version = data.get("version")
+        if version != STORE_VERSION:
+            raise ValueError(
+                f"{path} was written by an incompatible store version "
+                f"({version!r}; this code reads {STORE_VERSION})"
+            )
+        return TrialSummary.from_dict(data["summary"])
+
+    def __contains__(self, job: TrialJob) -> bool:
+        return self._cell_path(job.content_key).exists()
+
+    def completed_keys(self) -> List[str]:
+        """Content keys of every completed cell on disk."""
+        return sorted(p.stem for p in self.jobs_dir.glob("*.json"))
+
+    def missing(self, jobs: Sequence[TrialJob]) -> List[TrialJob]:
+        """The subset of ``jobs`` without a stored result, in input order."""
+        return [job for job in jobs if job not in self]
+
+    # -- sweep-level metadata ----------------------------------------------------------
+
+    def write_meta(
+        self,
+        *,
+        scale: str,
+        scenario,
+        protocols: Sequence[str],
+        pause_times: Sequence[float],
+        trials: int,
+    ) -> None:
+        """Record the sweep's parameters so ``resume``/``report`` need no CLI args."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(
+            self.meta_path,
+            {
+                "version": STORE_VERSION,
+                "scale": scale,
+                "scenario": scenario.to_dict(),
+                "protocols": list(protocols),
+                "pause_times": list(pause_times),
+                "trials": trials,
+            },
+        )
+
+    def ensure_meta(
+        self,
+        *,
+        scale: str,
+        scenario,
+        protocols: Sequence[str],
+        pause_times: Sequence[float],
+        trials: int,
+    ) -> None:
+        """Write the metadata, or validate it against an existing sweep.
+
+        Guards every writer against silently clobbering a store that holds a
+        *different* sweep — overwritten metadata would re-plan fewer/other
+        cells and orphan completed results.  Raises ``ValueError`` when the
+        directory already records different parameters.
+        """
+        meta = self.read_meta()
+        if meta is None:
+            self.write_meta(
+                scale=scale,
+                scenario=scenario,
+                protocols=protocols,
+                pause_times=pause_times,
+                trials=trials,
+            )
+            return
+        recorded = (
+            meta["scenario"],
+            list(meta["protocols"]),
+            list(meta["pause_times"]),
+            meta["trials"],
+        )
+        requested = (
+            scenario.to_dict(),
+            list(protocols),
+            list(pause_times),
+            trials,
+        )
+        if recorded != requested:
+            raise ValueError(
+                f"{self.root} already holds a different sweep "
+                f"(scale {meta['scale']!r}); use a fresh directory or "
+                f"resume the existing sweep"
+            )
+
+    def read_meta(self) -> Optional[Dict[str, Any]]:
+        """The sweep metadata, or ``None`` for a fresh/foreign directory."""
+        try:
+            return json.loads(self.meta_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+
+    def require_meta(self) -> Dict[str, Any]:
+        """Like :meth:`read_meta` but raises for a directory with no sweep."""
+        meta = self.read_meta()
+        if meta is None:
+            raise FileNotFoundError(
+                f"{self.meta_path} does not exist; "
+                f"{self.root} is not a sweep results store"
+            )
+        return meta
+
+    # -- reconstruction ----------------------------------------------------------------
+
+    def planned_jobs(self) -> List[TrialJob]:
+        """Re-plan the sweep recorded in the metadata (same params -> same keys)."""
+        from ..workloads.scenario import Scenario
+
+        meta = self.require_meta()
+        return plan_sweep(
+            Scenario.from_dict(meta["scenario"]),
+            meta["protocols"],
+            pause_times=meta["pause_times"],
+            trials=meta["trials"],
+        )
+
+    def load_results(self, *, require_complete: bool = False) -> SweepResults:
+        """Assemble a :class:`SweepResults` from the cells on disk.
+
+        Missing cells are simply absent from the result (``SweepResults``
+        queries tolerate that) unless ``require_complete`` is set.
+        """
+        from .runner import SweepResults
+
+        meta = self.require_meta()
+        jobs = self.planned_jobs()
+        results = SweepResults(
+            pause_times=list(meta["pause_times"]),
+            trials=meta["trials"],
+            protocols=list(meta["protocols"]),
+        )
+        absent = 0
+        for job in jobs:
+            summary = self.get(job)
+            if summary is None:
+                absent += 1
+                continue
+            results.add(job.protocol, job.pause_time, job.trial, summary)
+        if require_complete and absent:
+            raise ValueError(
+                f"store at {self.root} is incomplete: "
+                f"{absent} of {len(jobs)} cells missing"
+            )
+        return results
+
+    def write_results(self, results: SweepResults) -> None:
+        """Dump the assembled sweep as one ``results.json`` for downstream tools."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.results_path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(results.to_json(indent=1), encoding="utf-8")
+        os.replace(tmp, self.results_path)

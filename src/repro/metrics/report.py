@@ -12,12 +12,33 @@ turn them into:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence
 
 from .confidence import ConfidenceInterval, mean_confidence_interval
 
-__all__ = ["MetricSeries", "format_table", "format_series", "series_from_results"]
+__all__ = [
+    "MetricSeries",
+    "format_table",
+    "format_series",
+    "interval_or_empty",
+    "series_from_results",
+]
+
+
+def interval_or_empty(
+    values: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Interval of ``values``, or a NaN placeholder for an empty sample.
+
+    Reports rendered from a partially-completed sweep store have cells with no
+    trials yet; those render as ``nan ± nan`` rather than refusing to report
+    the cells that did complete.
+    """
+    if not values:
+        return ConfidenceInterval(math.nan, math.nan, confidence, 0)
+    return mean_confidence_interval(list(values), confidence)
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,7 +66,7 @@ def series_from_results(
     by_protocol: Dict[str, List[ConfidenceInterval]] = {}
     for protocol, per_x in results.items():
         by_protocol[protocol] = [
-            mean_confidence_interval(list(per_x[x]), confidence) for x in x_values
+            interval_or_empty(per_x[x], confidence) for x in x_values
         ]
     return MetricSeries(metric, x_label, list(x_values), by_protocol)
 

@@ -17,8 +17,8 @@ normalised routing overhead the paper uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, List
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Hashable, List, Mapping
 
 __all__ = ["TrialStats", "TrialSummary"]
 
@@ -56,6 +56,29 @@ class TrialSummary:
         if self.data_sent > 0:
             return float(self.control_transmissions) / self.data_sent
         return 0.0
+
+    # -- serialization ---------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict of the stored fields.
+
+        The derived ``delivery_ratio`` / ``network_load`` properties are
+        recomputed on load, so only the seven stored counters are written.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrialSummary":
+        """Rebuild a summary written by :meth:`to_dict`.
+
+        Unknown keys are ignored so stores written by newer versions (which may
+        add informational fields) still load.
+        """
+        names = {f.name for f in fields(cls)}
+        missing = names - set(data)
+        if missing:
+            raise ValueError(f"trial summary dict is missing fields: {sorted(missing)}")
+        return cls(**{name: data[name] for name in names})
 
 
 class TrialStats:

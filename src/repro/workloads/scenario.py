@@ -17,8 +17,8 @@ tests and benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Tuple
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Tuple
 
 from ..sim.phy import PhyConfig
 from ..sim.space import Terrain
@@ -78,6 +78,36 @@ class Scenario:
     def offered_load_pps(self) -> float:
         """Aggregate CBR sending rate (packets per second network-wide)."""
         return self.flow_count * self.packets_per_second
+
+    # -- serialization ---------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict of every scenario field (phy config nested).
+
+        The dict is the scenario's identity for job content keys and for the
+        on-disk sweep store, so it must cover every field that can change a
+        trial's outcome.
+        """
+        data: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "phy":
+                value = {pf.name: getattr(value, pf.name) for pf in fields(PhyConfig)}
+            data[f.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario written by :meth:`to_dict`."""
+        kwargs = dict(data)
+        phy = kwargs.get("phy")
+        if isinstance(phy, Mapping):
+            kwargs["phy"] = PhyConfig(**phy)
+        known = {f.name for f in fields(cls)}
+        unknown = set(kwargs) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        return cls(**kwargs)
 
 
 #: The paper's full-scale evaluation scenario (100 nodes, 30 flows, 900 s).

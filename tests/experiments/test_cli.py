@@ -1,0 +1,124 @@
+"""End-to-end tests of the sweep engine CLI (``python -m repro.experiments``).
+
+Run in-process through ``main(argv)`` with a protocol subset of the smoke
+scale so each command finishes in seconds: ``run`` populates a store and
+writes ``results.json``, a second ``run``/``resume`` reuses every cell, and
+``report`` reproduces the Table I / figure text from disk without simulating.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments import ResultsStore, SweepResults
+
+PROTOCOL_ARGS = ["--protocols", "SRP", "AODV"]
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli") / "sweep-smoke"
+    code = main(
+        ["run", "--scale", "smoke", "--jobs", "2", "--out", str(out), "--quiet"]
+        + PROTOCOL_ARGS
+    )
+    assert code == 0
+    return out
+
+
+class TestRun:
+    def test_run_populates_the_store(self, store_dir):
+        store = ResultsStore(store_dir)
+        meta = store.require_meta()
+        # smoke scale: 2 pause times x 1 trial x 2 protocols.
+        assert meta["scale"] == "smoke"
+        assert len(store.completed_keys()) == 4
+        assert store.results_path.exists()
+
+    def test_results_json_parses(self, store_dir):
+        results = SweepResults.from_json(
+            (store_dir / "results.json").read_text(encoding="utf-8")
+        )
+        assert len(results.summaries) == 4
+
+    def test_second_run_recomputes_nothing(self, store_dir, capsys):
+        code = main(
+            ["run", "--scale", "smoke", "--jobs", "1", "--out", str(store_dir)]
+            + PROTOCOL_ARGS
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 already in store, 0 to run" in out
+        assert out.count("cached") == 4
+
+    def test_conflicting_parameters_are_rejected(self, store_dir, capsys):
+        code = main(
+            ["run", "--scale", "benchmark", "--out", str(store_dir), "--quiet"]
+            + PROTOCOL_ARGS
+        )
+        assert code == 2
+        assert "different sweep" in capsys.readouterr().err
+
+
+class TestResume:
+    def test_resume_completes_a_partial_store(self, store_dir, capsys):
+        store = ResultsStore(store_dir)
+        # Knock one cell out, as if the run had been killed mid-sweep.
+        victim = store.planned_jobs()[0]
+        removed = store.get(victim)
+        (store.jobs_dir / f"{victim.content_key}.json").unlink()
+        assert len(store.completed_keys()) == 3
+
+        code = main(["resume", "--out", str(store_dir), "--quiet"])
+        assert code == 0
+        assert "3/4 cells already done" in capsys.readouterr().out
+        assert len(store.completed_keys()) == 4
+        assert store.get(victim) == removed  # deterministic re-run, same cell
+
+    def test_resume_needs_an_existing_store(self, tmp_path, capsys):
+        code = main(["resume", "--out", str(tmp_path / "nowhere")])
+        assert code == 2
+        assert "not a sweep results store" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_report_renders_all_experiments_from_disk(self, store_dir, capsys):
+        code = main(["report", "--out", str(store_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        for figure_number in range(3, 8):
+            assert f"Fig. {figure_number}" in out
+
+    def test_report_single_experiment(self, store_dir, capsys):
+        code = main(["report", "--out", str(store_dir), "--experiment", "fig4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "Table I" not in out
+
+    def test_report_warns_on_partial_store(self, store_dir, tmp_path, capsys):
+        store = ResultsStore(store_dir)
+        partial = ResultsStore(tmp_path / "partial")
+        partial.root.mkdir(parents=True)
+        meta = store.require_meta()
+        partial.meta_path.write_text(json.dumps(meta), encoding="utf-8")
+        jobs = store.planned_jobs()
+        partial.put(jobs[0], store.get(jobs[0]))
+
+        code = main(["report", "--out", str(partial.root)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "1/4 cells" in captured.err
+        assert "Table I" in captured.out
+
+    def test_report_needs_an_existing_store(self, tmp_path, capsys):
+        code = main(["report", "--out", str(tmp_path / "nowhere")])
+        assert code == 2
+        assert "not a sweep results store" in capsys.readouterr().err
+
+    def test_report_on_missing_path_creates_nothing(self, tmp_path):
+        target = tmp_path / "typo-dir"
+        main(["report", "--out", str(target)])
+        assert not target.exists()  # read-only commands must not litter

@@ -1,0 +1,115 @@
+"""Executor equivalence: every backend must produce bit-identical sweeps.
+
+The job pipeline's core guarantee is that a sweep's outcome is a pure function
+of its planned jobs — so the legacy monolithic ``run_sweep`` loop, the serial
+executor and the process-pool executor must agree exactly at fixed seeds, and
+progress events must account for every job exactly once.
+"""
+
+import pytest
+
+from repro.experiments import (
+    collect_sweep,
+    execute_jobs,
+    plan_sweep,
+    run_sweep,
+    sweep_shape,
+)
+from repro.workloads.scenario import scaled_scenario
+
+PROTOCOLS = ["SRP", "AODV"]
+PAUSE_TIMES = (0.0, 8.0)
+TRIALS = 1
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return scaled_scenario(
+        node_count=10,
+        flow_count=2,
+        duration=8.0,
+        terrain_width=700,
+        terrain_height=300,
+    )
+
+
+@pytest.fixture(scope="module")
+def jobs(scenario):
+    return plan_sweep(
+        scenario, PROTOCOLS, pause_times=PAUSE_TIMES, trials=TRIALS
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_results(jobs):
+    outcomes = execute_jobs(jobs, workers=1)
+    return collect_sweep(
+        outcomes, pause_times=PAUSE_TIMES, trials=TRIALS, protocols=PROTOCOLS
+    )
+
+
+class TestBackendEquivalence:
+    def test_legacy_run_sweep_matches_serial_executor(self, scenario, serial_results):
+        legacy = run_sweep(
+            scenario, PROTOCOLS, pause_times=PAUSE_TIMES, trials=TRIALS
+        )
+        assert legacy.summaries == serial_results.summaries
+
+    def test_process_pool_matches_serial_executor(self, jobs, serial_results):
+        outcomes = execute_jobs(jobs, workers=2)
+        pooled = collect_sweep(
+            outcomes, pause_times=PAUSE_TIMES, trials=TRIALS, protocols=PROTOCOLS
+        )
+        assert pooled.summaries == serial_results.summaries
+
+    def test_json_round_trip_of_executed_sweep(self, serial_results):
+        from repro.experiments import SweepResults
+
+        restored = SweepResults.from_json(serial_results.to_json())
+        assert restored.summaries == serial_results.summaries
+
+
+class TestProgressEvents:
+    def test_serial_progress_counts_every_job(self, jobs):
+        events = []
+        execute_jobs(jobs, workers=1, progress=events.append)
+        assert [e.completed for e in events] == list(range(1, len(jobs) + 1))
+        assert all(e.total == len(jobs) for e in events)
+        assert not any(e.cached for e in events)
+        assert events[-1].fraction == 1.0
+        assert {e.job for e in events} == set(jobs)
+
+    def test_pool_progress_counts_every_job(self, jobs):
+        events = []
+        execute_jobs(jobs, workers=2, progress=events.append)
+        assert len(events) == len(jobs)
+        assert events[-1].completed == len(jobs)
+        assert {e.job for e in events} == set(jobs)
+
+    def test_eta_reaches_zero(self, jobs):
+        events = []
+        execute_jobs(jobs[:2], workers=1, progress=events.append)
+        assert events[-1].eta == 0.0
+
+
+class TestLegacyProgressCallback:
+    def test_run_sweep_announces_cells_in_plan_order(self, scenario, jobs):
+        seen = []
+        run_sweep(
+            scenario,
+            PROTOCOLS,
+            pause_times=PAUSE_TIMES,
+            trials=TRIALS,
+            progress=lambda protocol, pause, trial: seen.append(
+                (protocol, pause, trial)
+            ),
+        )
+        assert seen == [job.cell for job in jobs]
+
+
+class TestSweepShape:
+    def test_shape_recovers_planner_inputs(self, jobs):
+        protocols, pause_times, trials = sweep_shape(jobs)
+        assert protocols == PROTOCOLS
+        assert pause_times == list(PAUSE_TIMES)
+        assert trials == TRIALS

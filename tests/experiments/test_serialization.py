@@ -1,0 +1,156 @@
+"""Round-trip tests for the sweep engine's serialization layer.
+
+The resumable store and the ``results.json`` archive both depend on three
+round-trips being lossless: :class:`TrialSummary` <-> dict,
+:class:`Scenario` <-> dict (phy config included, since it determines trial
+outcomes) and :class:`SweepResults` <-> JSON.  Content keys additionally must
+be stable across processes and sensitive to every result-determining field.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import SweepResults, TrialJob, plan_sweep
+from repro.sim.phy import PhyConfig
+from repro.sim.stats import TrialSummary
+from repro.workloads.scenario import PAPER_SCENARIO, Scenario, scaled_scenario
+
+SUMMARY = TrialSummary(
+    data_sent=120,
+    data_delivered=97,
+    control_transmissions=431,
+    mean_latency=0.0734,
+    mac_drops_per_node=2.25,
+    average_sequence_number=3.5,
+    duplicate_deliveries=4,
+)
+
+
+class TestTrialSummaryRoundTrip:
+    def test_round_trip_is_identity(self):
+        assert TrialSummary.from_dict(SUMMARY.to_dict()) == SUMMARY
+
+    def test_derived_properties_survive(self):
+        restored = TrialSummary.from_dict(SUMMARY.to_dict())
+        assert restored.delivery_ratio == SUMMARY.delivery_ratio
+        assert restored.network_load == SUMMARY.network_load
+
+    def test_dict_is_json_safe_and_complete(self):
+        import json
+
+        data = json.loads(json.dumps(SUMMARY.to_dict()))
+        assert TrialSummary.from_dict(data) == SUMMARY
+
+    def test_unknown_keys_are_ignored(self):
+        data = SUMMARY.to_dict()
+        data["future_field"] = 99
+        assert TrialSummary.from_dict(data) == SUMMARY
+
+    def test_missing_field_raises(self):
+        data = SUMMARY.to_dict()
+        del data["data_sent"]
+        with pytest.raises(ValueError, match="data_sent"):
+            TrialSummary.from_dict(data)
+
+
+class TestScenarioRoundTrip:
+    def test_paper_scenario_round_trips(self):
+        assert Scenario.from_dict(PAPER_SCENARIO.to_dict()) == PAPER_SCENARIO
+
+    def test_custom_phy_round_trips(self):
+        scenario = dataclasses.replace(
+            scaled_scenario(node_count=12, seed=9),
+            phy=PhyConfig(reception_range=180.0, retry_limit=6),
+        )
+        restored = Scenario.from_dict(scenario.to_dict())
+        assert restored == scenario
+        assert restored.phy.reception_range == 180.0
+
+    def test_unknown_field_raises(self):
+        data = PAPER_SCENARIO.to_dict()
+        data["gravity"] = 9.81
+        with pytest.raises(ValueError, match="gravity"):
+            Scenario.from_dict(data)
+
+
+class TestTrialJobKeys:
+    def _job(self, **overrides) -> TrialJob:
+        base = dict(
+            protocol="SRP",
+            scenario=scaled_scenario(node_count=12, seed=3),
+            pause_time=10.0,
+            trial=0,
+            seed=3,
+        )
+        base.update(overrides)
+        return TrialJob(**base)
+
+    def test_round_trip_is_identity(self):
+        job = self._job()
+        assert TrialJob.from_dict(job.to_dict()) == job
+
+    def test_content_key_is_deterministic(self):
+        assert self._job().content_key == self._job().content_key
+
+    def test_content_key_changes_with_every_determining_field(self):
+        base = self._job()
+        variants = [
+            self._job(protocol="AODV"),
+            self._job(pause_time=20.0),
+            self._job(trial=1, seed=4),
+            self._job(scenario=scaled_scenario(node_count=14, seed=3)),
+            self._job(
+                scenario=dataclasses.replace(
+                    base.scenario, phy=PhyConfig(reception_range=200.0)
+                )
+            ),
+        ]
+        keys = {base.content_key} | {v.content_key for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_planned_jobs_have_unique_keys(self):
+        jobs = plan_sweep(
+            scaled_scenario(node_count=12),
+            ["SRP", "AODV"],
+            pause_times=(0.0, 10.0),
+            trials=2,
+        )
+        assert len({job.content_key for job in jobs}) == len(jobs)
+
+
+class TestSweepResultsJson:
+    def _results(self) -> SweepResults:
+        results = SweepResults(
+            pause_times=[0.0, 10.0], trials=1, protocols=["SRP", "AODV"]
+        )
+        for protocol in results.protocols:
+            for pause in results.pause_times:
+                results.add(
+                    protocol,
+                    pause,
+                    0,
+                    dataclasses.replace(SUMMARY, data_sent=SUMMARY.data_sent + int(pause)),
+                )
+        return results
+
+    def test_round_trip_is_identity(self):
+        results = self._results()
+        restored = SweepResults.from_json(results.to_json())
+        assert restored.summaries == results.summaries
+        assert list(restored.pause_times) == list(results.pause_times)
+        assert list(restored.protocols) == list(results.protocols)
+        assert restored.trials == results.trials
+
+    def test_metric_queries_survive(self):
+        restored = SweepResults.from_json(self._results().to_json())
+        values = restored.metric_values("SRP", "delivery_ratio", 0.0)
+        assert values == [SUMMARY.delivery_ratio]
+
+    def test_unsupported_version_raises(self):
+        import json
+
+        data = json.loads(self._results().to_json())
+        data["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            SweepResults.from_json(json.dumps(data))

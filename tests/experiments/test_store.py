@@ -1,0 +1,205 @@
+"""Results-store semantics: persistence, resume and reconstruction.
+
+A killed paper-scale sweep must resume from its completed cells: the store
+keys cells by job content hash, so a re-planned identical sweep finds them
+again, only the missing cells run, and the reassembled ``SweepResults`` is
+identical to an uninterrupted run's.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ResultsStore,
+    SweepResults,
+    collect_sweep,
+    execute_jobs,
+    plan_sweep,
+)
+from repro.workloads.scenario import scaled_scenario
+
+PROTOCOLS = ["SRP", "AODV"]
+PAUSE_TIMES = (0.0, 8.0)
+TRIALS = 1
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return scaled_scenario(
+        node_count=10,
+        flow_count=2,
+        duration=8.0,
+        terrain_width=700,
+        terrain_height=300,
+    )
+
+
+@pytest.fixture(scope="module")
+def jobs(scenario):
+    return plan_sweep(scenario, PROTOCOLS, pause_times=PAUSE_TIMES, trials=TRIALS)
+
+
+@pytest.fixture(scope="module")
+def full_outcomes(jobs):
+    return execute_jobs(jobs, workers=1)
+
+
+def make_store(tmp_path, scenario) -> ResultsStore:
+    store = ResultsStore(tmp_path / "sweep")
+    store.write_meta(
+        scale="tiny",
+        scenario=scenario,
+        protocols=PROTOCOLS,
+        pause_times=PAUSE_TIMES,
+        trials=TRIALS,
+    )
+    return store
+
+
+class TestCellPersistence:
+    def test_put_get_round_trip(self, tmp_path, scenario, jobs, full_outcomes):
+        store = make_store(tmp_path, scenario)
+        job = jobs[0]
+        store.put(job, full_outcomes[job])
+        assert store.get(job) == full_outcomes[job]
+        assert job in store
+
+    def test_missing_cell_is_none(self, tmp_path, scenario, jobs):
+        store = make_store(tmp_path, scenario)
+        assert store.get(jobs[0]) is None
+        assert jobs[0] not in store
+        assert store.missing(jobs) == list(jobs)
+
+
+class TestResume:
+    def test_rerun_fills_only_the_missing_cells(
+        self, tmp_path, scenario, jobs, full_outcomes
+    ):
+        store = make_store(tmp_path, scenario)
+        # Simulate an interrupted sweep: half the cells completed.
+        done, pending = jobs[: len(jobs) // 2], jobs[len(jobs) // 2 :]
+        for job in done:
+            store.put(job, full_outcomes[job])
+
+        events = []
+        outcomes = execute_jobs(jobs, workers=1, store=store, progress=events.append)
+
+        fresh = [e.job for e in events if not e.cached]
+        cached = [e.job for e in events if e.cached]
+        assert fresh == pending  # no recomputation of completed cells
+        assert set(cached) == set(done)
+        assert outcomes == full_outcomes
+
+    def test_resumed_sweep_results_match_uninterrupted(
+        self, tmp_path, scenario, jobs, full_outcomes
+    ):
+        store = make_store(tmp_path, scenario)
+        for job in jobs[:1]:
+            store.put(job, full_outcomes[job])
+        outcomes = execute_jobs(jobs, workers=1, store=store)
+        resumed = collect_sweep(
+            outcomes, pause_times=PAUSE_TIMES, trials=TRIALS, protocols=PROTOCOLS
+        )
+        direct = collect_sweep(
+            full_outcomes,
+            pause_times=PAUSE_TIMES,
+            trials=TRIALS,
+            protocols=PROTOCOLS,
+        )
+        assert resumed.summaries == direct.summaries
+
+    def test_fully_cached_run_executes_nothing(
+        self, tmp_path, scenario, jobs, full_outcomes
+    ):
+        store = make_store(tmp_path, scenario)
+        for job in jobs:
+            store.put(job, full_outcomes[job])
+        events = []
+        outcomes = execute_jobs(jobs, workers=1, store=store, progress=events.append)
+        assert all(e.cached for e in events)
+        assert outcomes == full_outcomes
+
+
+class TestReconstruction:
+    def test_planned_jobs_match_original_plan(self, tmp_path, scenario, jobs):
+        store = make_store(tmp_path, scenario)
+        assert store.planned_jobs() == list(jobs)
+
+    def test_load_results_reassembles_the_sweep(
+        self, tmp_path, scenario, jobs, full_outcomes
+    ):
+        store = make_store(tmp_path, scenario)
+        execute_jobs(jobs, workers=1, store=store)
+        loaded = store.load_results()
+        direct = collect_sweep(
+            full_outcomes,
+            pause_times=PAUSE_TIMES,
+            trials=TRIALS,
+            protocols=PROTOCOLS,
+        )
+        assert loaded.summaries == direct.summaries
+
+    def test_load_results_tolerates_partial_store(
+        self, tmp_path, scenario, jobs, full_outcomes
+    ):
+        store = make_store(tmp_path, scenario)
+        store.put(jobs[0], full_outcomes[jobs[0]])
+        partial = store.load_results()
+        assert len(partial.summaries) == 1
+        with pytest.raises(ValueError, match="incomplete"):
+            store.load_results(require_complete=True)
+
+    def test_write_results_round_trips(self, tmp_path, scenario, jobs, full_outcomes):
+        store = make_store(tmp_path, scenario)
+        execute_jobs(jobs, workers=1, store=store)
+        results = store.load_results()
+        store.write_results(results)
+        restored = SweepResults.from_json(
+            store.results_path.read_text(encoding="utf-8")
+        )
+        assert restored.summaries == results.summaries
+
+    def test_foreign_directory_raises(self, tmp_path):
+        store = ResultsStore(tmp_path / "empty")
+        with pytest.raises(FileNotFoundError):
+            store.require_meta()
+        assert store.read_meta() is None
+        assert not (tmp_path / "empty").exists()  # reads never mkdir
+
+
+class TestMetaGuards:
+    def test_ensure_meta_accepts_identical_parameters(self, tmp_path, scenario):
+        store = make_store(tmp_path, scenario)
+        store.ensure_meta(
+            scale="renamed-is-fine",
+            scenario=scenario,
+            protocols=PROTOCOLS,
+            pause_times=PAUSE_TIMES,
+            trials=TRIALS,
+        )
+        assert store.require_meta()["scale"] == "tiny"  # original kept
+
+    def test_ensure_meta_rejects_a_different_sweep(self, tmp_path, scenario):
+        store = make_store(tmp_path, scenario)
+        with pytest.raises(ValueError, match="different sweep"):
+            store.ensure_meta(
+                scale="tiny",
+                scenario=scenario,
+                protocols=PROTOCOLS,
+                pause_times=PAUSE_TIMES,
+                trials=TRIALS + 1,
+            )
+
+    def test_incompatible_cell_version_is_rejected(
+        self, tmp_path, scenario, jobs, full_outcomes
+    ):
+        import json
+
+        store = make_store(tmp_path, scenario)
+        job = jobs[0]
+        store.put(job, full_outcomes[job])
+        path = store.jobs_dir / f"{job.content_key}.json"
+        cell = json.loads(path.read_text(encoding="utf-8"))
+        cell["version"] = 999
+        path.write_text(json.dumps(cell), encoding="utf-8")
+        with pytest.raises(ValueError, match="incompatible store version"):
+            store.get(job)
