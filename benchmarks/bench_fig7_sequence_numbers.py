@@ -24,6 +24,6 @@ def bench_fig7_sequence_numbers(benchmark, evaluation_results):
     # SRP never increments a sequence number.
     assert all(value == 0.0 for value in srp)
     # AODV grows at least as fast as LDR, and strictly dominates SRP overall.
-    assert all(a >= l for a, l in zip(aodv, ldr))
+    assert all(a >= b for a, b in zip(aodv, ldr))
     assert sum(aodv) > 0.0
     assert sum(aodv) >= sum(ldr) >= sum(srp)

@@ -83,7 +83,9 @@ def main(argv=None) -> int:
     worker_counts = tuple(args.workers) if args.workers else (1, os.cpu_count() or 1)
 
     baseline = None
-    print(f"{'workers':>8} {'wall s':>8} {'trials':>7} {'trials/min':>11} {'speedup':>8}")
+    print(
+        f"{'workers':>8} {'wall s':>8} {'trials':>7} {'trials/min':>11} {'speedup':>8}"
+    )
     for workers in worker_counts:
         elapsed, outcomes = run_sweep_point(
             workers, duration=args.duration, trials=args.trials

@@ -32,7 +32,9 @@ def example_1_and_2() -> None:
     network = SlrNetwork(label_set, "T")
 
     chain = nx.path_graph(["E", "D", "C", "B", "A", "T"])
-    result = network.compute_route("E", chain, request_path=["E", "D", "C", "B", "A", "T"])
+    result = network.compute_route(
+        "E", chain, request_path=["E", "D", "C", "B", "A", "T"]
+    )
     print(f"request by E succeeded: {result.succeeded}, replier: {result.replier}")
     for node in ["E", "D", "C", "B", "A", "T"]:
         print(f"  label({node}) = {network.label(node)}")
@@ -51,7 +53,10 @@ def example_1_and_2() -> None:
     network.state("H").label = Fraction(3, 4)
     joined = nx.path_graph(["H", "G", "F", "B", "A", "T"])
     result = network.compute_route("H", joined, request_path=["H", "G", "F", "B", "A"])
-    print(f"request by H answered by {result.replier}; relabelled: {sorted(result.relabelled)}")
+    print(
+        f"request by H answered by {result.replier}; "
+        f"relabelled: {sorted(result.relabelled)}"
+    )
     for node in ["H", "G", "F", "B", "A", "T"]:
         print(f"  label({node}) = {network.label(node)}")
     print(f"loop-free: {network.is_loop_free()}, "
@@ -75,10 +80,15 @@ def srp_in_the_simulator() -> None:
     print(f"data packets sent       : {summary.data_sent}")
     print(f"data packets delivered  : {summary.data_delivered}")
     print(f"delivery ratio          : {summary.delivery_ratio:.3f}")
-    print(f"network load            : {summary.network_load:.3f} control tx per delivered packet")
+    print(
+        f"network load            : {summary.network_load:.3f} "
+        "control tx per delivered packet"
+    )
     print(f"mean latency            : {summary.mean_latency * 1000:.1f} ms")
-    print(f"avg sequence number     : {summary.average_sequence_number:.1f} "
-          f"(SRP's destination-controlled reset was never needed)")
+    print(
+        f"avg sequence number     : {summary.average_sequence_number:.1f} "
+        "(SRP's destination-controlled reset was never needed)"
+    )
 
 
 if __name__ == "__main__":

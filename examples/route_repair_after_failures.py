@@ -76,7 +76,10 @@ def main() -> None:
         print(f"  running {protocol} ...")
         results[protocol] = run_with_crashes(protocol)
     print()
-    header = f"{'protocol':8s} {'delivery':>9s} {'net load':>9s} {'latency':>9s} {'avg seqno':>10s}"
+    header = (
+        f"{'protocol':8s} {'delivery':>9s} {'net load':>9s} "
+        f"{'latency':>9s} {'avg seqno':>10s}"
+    )
     print(header)
     print("-" * len(header))
     for protocol, summary in results.items():

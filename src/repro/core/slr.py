@@ -243,7 +243,9 @@ class SlrRouteComputation(Generic[L]):
 
         reply_path = self._reverse_path(replier, parent)
         relabelled = self._run_reply(reply_path)
-        return RouteComputationResult(True, replier, request_nodes, tuple(reply_path), relabelled)
+        return RouteComputationResult(
+            True, replier, request_nodes, tuple(reply_path), relabelled
+        )
 
     def run_on_path(self, path: List[NodeId]) -> RouteComputationResult:
         """Run the computation along an explicit request path ``v_k .. v_0``.

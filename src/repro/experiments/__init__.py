@@ -5,9 +5,24 @@ sweep as independent :class:`TrialJob` cells, :mod:`~repro.experiments.executor`
 runs them serially or over a process pool, :mod:`~repro.experiments.store`
 persists completed cells so interrupted sweeps resume, and
 ``python -m repro.experiments`` drives it all from the command line.
+
+Since PR 3 the results are also *asserted*: :mod:`~repro.experiments.gate`
+holds the science gate — the paper's qualitative claims as declarative
+invariants over a completed store — and :mod:`~repro.experiments.trajectory`
+merges stores from successive runs and tracks per-figure metrics across them.
 """
 
 from .executor import ExecutionProgress, execute_jobs, run_job
+from .gate import (
+    BoundInvariant,
+    ExactInvariant,
+    GateReport,
+    Invariant,
+    InvariantOutcome,
+    OrderingInvariant,
+    evaluate_gate,
+    paper_invariants,
+)
 from .jobs import TrialJob, plan_sweep, sweep_shape
 from .paper import (
     EXPERIMENTS,
@@ -25,27 +40,47 @@ from .paper import (
 )
 from .runner import SweepResults, collect_sweep, run_sweep
 from .store import ResultsStore
+from .trajectory import (
+    MergeReport,
+    TrajectoryPoint,
+    merge_stores,
+    metric_trajectories,
+    sparkline,
+)
 
 __all__ = [
     "EXPERIMENTS",
     "PAPER_PROTOCOLS",
     "SCALE_NAMES",
     "SEQUENCE_NUMBER_PROTOCOLS",
+    "BoundInvariant",
     "EvaluationScale",
+    "ExactInvariant",
     "ExecutionProgress",
     "ExperimentDefinition",
+    "GateReport",
+    "Invariant",
+    "InvariantOutcome",
+    "MergeReport",
+    "OrderingInvariant",
     "ResultsStore",
     "SweepResults",
+    "TrajectoryPoint",
     "TrialJob",
     "collect_sweep",
+    "evaluate_gate",
     "execute_jobs",
     "figure",
     "figure_text",
+    "merge_stores",
+    "metric_trajectories",
+    "paper_invariants",
     "plan_sweep",
     "resolve_scale",
     "run_evaluation",
     "run_job",
     "run_sweep",
+    "sparkline",
     "sweep_shape",
     "table1",
     "table1_text",

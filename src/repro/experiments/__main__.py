@@ -1,7 +1,8 @@
 """Command-line sweep engine: ``python -m repro.experiments``.
 
-The first-class way to run the paper's evaluation.  Three subcommands drive
-the plan -> execute -> collect pipeline against a persistent on-disk store:
+The first-class way to run — and police — the paper's evaluation.  The
+subcommands drive the plan -> execute -> collect -> assert pipeline against a
+persistent on-disk store:
 
 ``run``
     Plan the sweep for a scale, run every cell not already in the store
@@ -13,6 +14,16 @@ the plan -> execute -> collect pipeline against a persistent on-disk store:
 ``report``
     Render Table I and Figures 3-7 from the cells on disk, without running
     any simulation.
+``gate``
+    Evaluate the registered paper-derived invariants (the *science gate*)
+    against the store and exit nonzero, naming the violated invariants, when
+    the reproduction no longer supports the paper's claims.
+``merge``
+    Union several stores of the same sweep into one compacted store (e.g. a
+    timed-out nightly artifact plus the night that finished it).
+``trajectory``
+    Read several stores in order (one per run/commit) and print per-figure
+    metric trajectories as ASCII sparklines, optionally dumping JSON.
 
 Examples::
 
@@ -20,16 +31,22 @@ Examples::
     python -m repro.experiments run --scale paper --jobs 8 --out sweep-paper
     python -m repro.experiments resume --out sweep-paper --jobs 8
     python -m repro.experiments report --out sweep-paper --experiment fig4
+    python -m repro.experiments gate --out sweep-paper --json gate.json
+    python -m repro.experiments merge --out merged night-1 night-2
+    python -m repro.experiments trajectory night-* --experiment fig5
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .executor import ExecutionProgress, execute_jobs
+from .gate import evaluate_gate, paper_invariants
 from .jobs import TrialJob, plan_sweep
 from .paper import (
     EXPERIMENTS,
@@ -41,6 +58,12 @@ from .paper import (
 )
 from .runner import collect_sweep
 from .store import ResultsStore
+from .trajectory import (
+    merge_stores,
+    metric_trajectories,
+    trajectories_to_dict,
+    trajectories_to_text,
+)
 
 __all__ = ["main"]
 
@@ -115,7 +138,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        # Distinct from argparse's exit 2: the CI nightly keys its
+        # wipe-and-retry fallback on "store holds a different sweep"
+        # specifically, which must not trigger on a usage error.
+        return 3
     jobs = plan_sweep(
         scale.scenario,
         protocols,
@@ -173,7 +199,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if done < total:
         print(
             f"note: store holds {done}/{total} cells; "
-            f"reporting the completed subset (run `resume` to finish)",
+            "reporting the completed subset (run `resume` to finish)",
             file=sys.stderr,
         )
     wanted = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -184,6 +210,77 @@ def _cmd_report(args: argparse.Namespace) -> int:
         else:
             print(figure_text(experiment_id, results))
         print()
+    return 0
+
+
+def _cmd_gate(args: argparse.Namespace) -> int:
+    if args.list:
+        for invariant in paper_invariants():
+            print(f"{invariant.name:<36} [{invariant.figure}] {invariant.claim}")
+        return 0
+    if args.out is None:
+        print("error: gate needs --out DIR (or --list)", file=sys.stderr)
+        return 2
+    store = ResultsStore(args.out)
+    try:
+        meta = store.require_meta()
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.scale is not None and meta["scale"] != args.scale:
+        print(
+            f"error: {store.root} holds a {meta['scale']!r} sweep, "
+            f"not {args.scale!r}; gate would assert over the wrong science",
+            file=sys.stderr,
+        )
+        return 2
+    results = store.load_results()
+    report = evaluate_gate(
+        results, scale=meta["scale"], store=store.root.as_posix()
+    )
+    print(report.to_text(verbose=args.verbose))
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=1), encoding="utf-8"
+        )
+        print(f"(structured report written to {args.json})")
+    return report.exit_code(strict=args.strict)
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    destination = ResultsStore(args.out)
+    sources = [ResultsStore(path) for path in args.stores]
+    try:
+        report = merge_stores(destination, sources)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for source, copied in report.copied.items():
+        print(f"  {source}: {copied} cells copied")
+    state = "complete" if report.complete else "still incomplete"
+    print(
+        f"Merged {len(sources)} store{'s' if len(sources) != 1 else ''} into "
+        f"{report.destination}: {report.completed_cells}/{report.planned_cells} "
+        f"cells ({state})."
+    )
+    return 0
+
+
+def _cmd_trajectory(args: argparse.Namespace) -> int:
+    stores = [ResultsStore(path) for path in args.stores]
+    wanted = None if args.experiment == "all" else [args.experiment]
+    try:
+        trajectories = metric_trajectories(stores, wanted)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(trajectories_to_text(trajectories))
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(trajectories_to_dict(trajectories), indent=1),
+            encoding="utf-8",
+        )
+        print(f"(structured trajectories written to {args.json})")
     return 0
 
 
@@ -254,6 +351,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="regenerate one table/figure only (default: all)",
     )
     report.set_defaults(func=_cmd_report)
+
+    gate = sub.add_parser(
+        "gate",
+        help="assert the paper-derived invariants over a store "
+        "(nonzero exit on violation)",
+    )
+    add_store_arg(gate)
+    gate.add_argument(
+        "--scale",
+        choices=tuple(SCALE_NAMES),
+        default=None,
+        help="require the store to hold a sweep of this scale",
+    )
+    gate.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the structured per-invariant report to PATH",
+    )
+    gate.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on inconclusive invariants (partial stores, "
+        "overlapping intervals)",
+    )
+    gate.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print per-pause details for passing invariants too",
+    )
+    gate.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered invariants with their paper citations "
+        "and exit (no store needed)",
+    )
+    gate.set_defaults(func=_cmd_gate)
+
+    merge = sub.add_parser(
+        "merge",
+        help="union stores of the same sweep into one compacted store",
+    )
+    merge.add_argument(
+        "--out", required=True, help="destination store (created if missing)"
+    )
+    merge.add_argument(
+        "stores", nargs="+", metavar="STORE", help="source store directories"
+    )
+    merge.set_defaults(func=_cmd_merge)
+
+    trajectory = sub.add_parser(
+        "trajectory",
+        help="per-figure metric trajectories across several stores "
+        "(oldest first)",
+    )
+    trajectory.add_argument(
+        "stores", nargs="+", metavar="STORE", help="store directories, oldest first"
+    )
+    trajectory.add_argument(
+        "--experiment",
+        choices=("all",) + tuple(EXPERIMENTS),
+        default="all",
+        help="restrict to one table/figure (default: all)",
+    )
+    trajectory.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the structured trajectories to PATH",
+    )
+    trajectory.set_defaults(func=_cmd_trajectory)
     return parser
 
 

@@ -1,0 +1,541 @@
+"""Science gate: paper-derived invariants asserted over a completed store.
+
+The paper's argument is a set of *qualitative orderings* — SRP matches or
+beats the on-demand baselines, OLSR pays a far higher network load at every
+pause time, and SRP's node sequence numbers stay identically zero — not a set
+of absolute numbers.  Unit tests cannot see those orderings (they emerge only
+from a whole sweep), so a protocol regression can flip a figure while every
+test stays green.  This module turns each claim into a declarative invariant
+evaluated against the :class:`~repro.experiments.runner.SweepResults` of a
+completed (or partially completed) :class:`~repro.experiments.store.ResultsStore`:
+
+* :class:`OrderingInvariant` — one protocol's metric is above another's,
+  per pause time, judged on 95% confidence intervals
+  (:func:`~repro.metrics.confidence.significantly_greater`) so noisy
+  small-scale runs read as *inconclusive* rather than flapping;
+* :class:`BoundInvariant` — every trial value of a metric stays inside a
+  closed range (delivery ratios in [0, 1], loads and latencies nonnegative);
+* :class:`ExactInvariant` — every trial value equals a constant (SRP's
+  average sequence number is exactly 0, the paper's headline claim).
+
+:func:`paper_invariants` registers the full set with their figure/claim
+citations, :func:`evaluate_gate` runs a registry against results, and the CLI
+(``python -m repro.experiments gate --out DIR``) exits nonzero with a
+per-invariant report when any invariant is violated.  A cell that is missing
+from the store makes the affected invariants *inconclusive*, never *pass*:
+the gate only vouches for science it has actually seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..metrics.collectors import extract_metric
+from ..metrics.confidence import significantly_greater
+from ..metrics.report import interval_or_empty
+from .runner import SweepResults
+
+__all__ = [
+    "PASS",
+    "FAIL",
+    "INCONCLUSIVE",
+    "BoundInvariant",
+    "ExactInvariant",
+    "GateReport",
+    "Invariant",
+    "InvariantOutcome",
+    "OrderingInvariant",
+    "evaluate_gate",
+    "paper_invariants",
+]
+
+#: Invariant statuses.  ``INCONCLUSIVE`` is deliberately distinct from both
+#: others: a partial store or statistically indistinguishable comparison is
+#: reported honestly instead of being waved through as a pass.
+PASS = "pass"
+FAIL = "fail"
+INCONCLUSIVE = "inconclusive"
+
+
+@dataclass(frozen=True, slots=True)
+class InvariantOutcome:
+    """The result of evaluating one invariant against one sweep."""
+
+    name: str
+    status: str  #: one of PASS / FAIL / INCONCLUSIVE
+    figure: str  #: the paper figure/table the claim comes from
+    claim: str  #: the claim in prose, as cited in EXPERIMENTS.md
+    details: Tuple[str, ...] = ()  #: per-pause observations / violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict for the structured gate report."""
+        return {
+            "name": self.name,
+            "status": self.status,
+            "figure": self.figure,
+            "claim": self.claim,
+            "details": list(self.details),
+        }
+
+
+def _combine(statuses: Sequence[str]) -> str:
+    """Worst-of semantics: any FAIL fails, else any INCONCLUSIVE taints."""
+    if FAIL in statuses:
+        return FAIL
+    if INCONCLUSIVE in statuses or not statuses:
+        return INCONCLUSIVE
+    return PASS
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class Invariant:
+    """One paper claim, checkable against a sweep's results.
+
+    Subclasses implement :meth:`evaluate`; ``figure`` and ``claim`` tie the
+    check back to the paper so a violation report names the figure whose
+    science regressed, not just a metric.
+    """
+
+    name: str
+    figure: str
+    claim: str
+
+    def evaluate(self, results: SweepResults) -> InvariantOutcome:
+        raise NotImplementedError
+
+    def _outcome(
+        self, statuses: Sequence[str], details: Sequence[str]
+    ) -> InvariantOutcome:
+        return InvariantOutcome(
+            name=self.name,
+            status=_combine(list(statuses)),
+            figure=self.figure,
+            claim=self.claim,
+            details=tuple(details),
+        )
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class OrderingInvariant(Invariant):
+    """``greater``'s metric lies above ``lesser``'s, at each pause time.
+
+    Judged on confidence intervals, per pause time:
+
+    * ``lesser`` entirely above ``greater`` by more than the tolerance margin
+      -> **fail** (the ordering the paper argues from has reversed);
+    * ``greater`` entirely above ``lesser`` -> **pass**;
+    * the intervals overlap -> statistically indistinguishable; **pass** for a
+      "matches or beats" claim (``require_separation=False``), or
+      **inconclusive** for a dominance claim that the paper states as a clear
+      separation (``require_separation=True``) — never a hard fail, so noisy
+      benchmark-scale runs do not flap.
+
+    ``tolerance``/``rel_tolerance`` add slack on the *violation* side only: a
+    "matches" claim is not falsified by a significant-but-tiny difference
+    (single-trial sweeps have zero-width intervals, where every difference is
+    technically significant).
+
+    ``pooled`` compares the metric *averaged over all pause times* instead of
+    per pause — Table I's claim form.  Heavy-tailed per-trial metrics (one
+    route repair can dominate a single trial's mean latency) make per-pause
+    orderings unstable at small scales; the pooled interval widens with the
+    observed variance, so such claims degrade to inconclusive instead of
+    flapping.
+    """
+
+    metric: str
+    greater: str  #: protocol expected on top
+    lesser: str  #: protocol expected underneath
+    require_separation: bool = False
+    tolerance: float = 0.0  #: absolute slack before a reversal counts
+    rel_tolerance: float = 0.0  #: slack relative to the larger |mean|
+    first_pause_only: bool = False  #: check only pause 0 (continuous mobility)
+    pooled: bool = False  #: compare averages over all pauses (Table I form)
+    confidence: float = 0.95
+
+    def _comparisons(self, results: SweepResults):
+        """``(label, greater values, lesser values, expected count)`` tuples."""
+        if self.pooled:
+            expected = results.trials * len(results.pause_times)
+            yield (
+                "all pauses",
+                results.metric_over_all_pauses(self.greater, self.metric),
+                results.metric_over_all_pauses(self.lesser, self.metric),
+                expected,
+            )
+            return
+        pauses = (
+            list(results.pause_times)[:1]
+            if self.first_pause_only
+            else list(results.pause_times)
+        )
+        for pause in pauses:
+            yield (
+                f"pause {pause:g}",
+                results.metric_values(self.greater, self.metric, pause),
+                results.metric_values(self.lesser, self.metric, pause),
+                results.trials,
+            )
+
+    def evaluate(self, results: SweepResults) -> InvariantOutcome:
+        statuses: List[str] = []
+        details: List[str] = []
+        for label, greater_values, lesser_values, expected in self._comparisons(
+            results
+        ):
+            if not greater_values or not lesser_values:
+                statuses.append(INCONCLUSIVE)
+                details.append(
+                    f"{label}: no stored trials for "
+                    f"{self.greater if not greater_values else self.lesser}"
+                )
+                continue
+            partial = (
+                len(greater_values) < expected or len(lesser_values) < expected
+            )
+            greater_ci = interval_or_empty(greater_values, self.confidence)
+            lesser_ci = interval_or_empty(lesser_values, self.confidence)
+            margin = self.tolerance + self.rel_tolerance * max(
+                abs(greater_ci.mean), abs(lesser_ci.mean)
+            )
+            if significantly_greater(lesser_ci, greater_ci, margin=margin):
+                statuses.append(FAIL)
+                details.append(
+                    f"{label}: {self.lesser} {self.metric} ({lesser_ci}) "
+                    f"exceeds {self.greater} ({greater_ci}) "
+                    f"beyond margin {margin:g} — ordering reversed"
+                )
+            elif significantly_greater(greater_ci, lesser_ci):
+                statuses.append(INCONCLUSIVE if partial else PASS)
+                details.append(
+                    f"{label}: {self.greater} {greater_ci} > "
+                    f"{self.lesser} {lesser_ci}"
+                    + (" (partial cell)" if partial else "")
+                )
+            elif self.require_separation:
+                statuses.append(INCONCLUSIVE)
+                details.append(
+                    f"{label}: intervals overlap "
+                    f"({self.greater} {greater_ci} vs {self.lesser} {lesser_ci}); "
+                    "claimed separation not established"
+                )
+            else:
+                statuses.append(INCONCLUSIVE if partial else PASS)
+                details.append(
+                    f"{label}: statistically tied "
+                    f"({self.greater} {greater_ci} vs {self.lesser} {lesser_ci})"
+                    + (" (partial cell)" if partial else "")
+                )
+        return self._outcome(statuses, details)
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class BoundInvariant(Invariant):
+    """Every stored trial value of ``metric`` lies within [lower, upper]."""
+
+    metric: str
+    protocols: Tuple[str, ...]
+    lower: Optional[float] = None
+    upper: Optional[float] = None
+
+    def evaluate(self, results: SweepResults) -> InvariantOutcome:
+        violations: List[str] = []
+        seen = 0
+        expected = 0
+        for protocol in self.protocols:
+            for pause in results.pause_times:
+                expected += results.trials
+                values = results.metric_values(protocol, self.metric, pause)
+                seen += len(values)
+                for value in values:
+                    below = self.lower is not None and value < self.lower
+                    above = self.upper is not None and value > self.upper
+                    if below or above:
+                        violations.append(
+                            f"{protocol} pause {pause:g}: {self.metric}={value:g} "
+                            f"outside [{self.lower}, {self.upper}]"
+                        )
+        if violations:
+            return self._outcome([FAIL], violations)
+        if seen < expected:
+            return self._outcome(
+                [INCONCLUSIVE], [f"only {seen}/{expected} trial values stored"]
+            )
+        return self._outcome([PASS], [f"{seen} trial values in bounds"])
+
+
+@dataclass(frozen=True, slots=True, kw_only=True)
+class ExactInvariant(Invariant):
+    """Every stored trial value of ``metric`` equals ``expected`` exactly.
+
+    The flagship instance is SRP's sequence number: the paper's central claim
+    is that SRP *never* uses one, so the average over any trial must be
+    identically zero — a single nonzero cell is a protocol bug, not noise.
+    """
+
+    metric: str
+    protocol: str
+    expected: float = 0.0
+    tolerance: float = 0.0
+
+    def evaluate(self, results: SweepResults) -> InvariantOutcome:
+        violations: List[str] = []
+        seen = 0
+        expected_cells = len(results.pause_times) * results.trials
+        for pause in results.pause_times:
+            for trial in range(results.trials):
+                summary = results.summaries.get((self.protocol, pause, trial))
+                if summary is None:
+                    continue
+                seen += 1
+                value = extract_metric(summary, self.metric)
+                if abs(value - self.expected) > self.tolerance:
+                    violations.append(
+                        f"{self.protocol} pause {pause:g} trial {trial}: "
+                        f"{self.metric}={value:g} != {self.expected:g}"
+                    )
+        if violations:
+            return self._outcome([FAIL], violations)
+        if seen < expected_cells:
+            return self._outcome(
+                [INCONCLUSIVE], [f"only {seen}/{expected_cells} cells stored"]
+            )
+        return self._outcome(
+            [PASS], [f"{seen} cells all equal {self.expected:g}"]
+        )
+
+
+def paper_invariants() -> Tuple[Invariant, ...]:
+    """The registered paper-derived invariants, in report order.
+
+    Each entry cites the figure/table it protects; the same list is documented
+    in EXPERIMENTS.md ("Science gate").  Claims hold at every scale from
+    ``smoke`` upward — tolerances encode the paper's "matches" language so
+    single-trial sweeps do not flap on hair's-breadth differences.
+    """
+    invariants: List[Invariant] = [
+        ExactInvariant(
+            name="srp-sequence-numbers-zero",
+            figure="Fig. 7",
+            claim="SRP never uses a sequence number: the average node "
+            "sequence number is identically 0 in every trial",
+            metric="sequence_number",
+            protocol="SRP",
+        ),
+        OrderingInvariant(
+            name="aodv-seqno-above-srp-at-pause-0",
+            figure="Fig. 7",
+            claim="AODV's sequence numbers grow under continuous mobility "
+            "while SRP's stay at zero",
+            metric="sequence_number",
+            greater="AODV",
+            lesser="SRP",
+            require_separation=True,
+            first_pause_only=True,
+        ),
+    ]
+    for baseline in ("SRP", "LDR", "AODV", "DSR"):
+        invariants.append(
+            OrderingInvariant(
+                name=f"olsr-load-above-{baseline.lower()}",
+                figure="Fig. 5 / Table I",
+                claim="OLSR's proactive flooding costs more control "
+                f"overhead than {baseline} at every pause time",
+                metric="network_load",
+                greater="OLSR",
+                lesser=baseline,
+                require_separation=True,
+            )
+        )
+    for baseline in ("LDR", "AODV", "DSR"):
+        invariants.append(
+            OrderingInvariant(
+                name=f"srp-delivery-no-worse-than-{baseline.lower()}",
+                figure="Fig. 4 / Table I",
+                claim=f"SRP's delivery ratio matches or beats {baseline}'s "
+                "at every pause time",
+                metric="delivery_ratio",
+                greater="SRP",
+                lesser=baseline,
+                tolerance=0.02,  # "matches": within 2 percentage points
+            )
+        )
+    for baseline in ("LDR", "AODV"):
+        invariants.append(
+            OrderingInvariant(
+                name=f"srp-latency-no-worse-than-{baseline.lower()}",
+                figure="Fig. 6 / Table I",
+                claim=f"SRP's data latency matches or beats {baseline}'s "
+                "at every pause time",
+                metric="latency",
+                greater=baseline,  # lower latency is better: SRP must not
+                lesser="SRP",  # significantly exceed the baseline
+                rel_tolerance=0.5,  # "matches": within 50% of the larger mean
+            )
+        )
+        invariants.append(
+            OrderingInvariant(
+                name=f"srp-drops-no-worse-than-{baseline.lower()}",
+                figure="Fig. 3",
+                claim=f"SRP suffers no more MAC-layer drops than {baseline} "
+                "at any pause time",
+                metric="mac_drops",
+                greater=baseline,  # fewer drops is better
+                lesser="SRP",
+                tolerance=0.5,  # absolute slack in drops/node
+                rel_tolerance=0.5,
+            )
+        )
+    invariants.append(
+        OrderingInvariant(
+            name="olsr-latency-not-below-srp",
+            figure="Table I / Fig. 6",
+            claim="Averaged over all pause times, OLSR's end-to-end latency "
+            "is no better than SRP's (Table I shows it higher)",
+            metric="latency",
+            greater="OLSR",
+            lesser="SRP",
+            # Pooled, Table-I form: per-trial latency is heavy-tailed (one
+            # route repair can dominate a single trial's mean), so per-pause
+            # orderings are unstable at small scales — the pooled interval
+            # widens with that variance instead of flapping.
+            pooled=True,
+        )
+    )
+    invariants.extend(
+        [
+            BoundInvariant(
+                name="delivery-ratio-in-unit-interval",
+                figure="Fig. 4 / Table I",
+                claim="Delivery ratios are fractions: every protocol's ratio "
+                "lies in [0, 1] in every trial",
+                metric="delivery_ratio",
+                protocols=("SRP", "LDR", "AODV", "DSR", "OLSR"),
+                lower=0.0,
+                upper=1.0,
+            ),
+            BoundInvariant(
+                name="network-load-nonnegative",
+                figure="Fig. 5 / Table I",
+                claim="Control overhead per delivered packet is nonnegative "
+                "for every protocol",
+                metric="network_load",
+                protocols=("SRP", "LDR", "AODV", "DSR", "OLSR"),
+                lower=0.0,
+            ),
+            BoundInvariant(
+                name="latency-nonnegative",
+                figure="Fig. 6 / Table I",
+                claim="End-to-end latencies are nonnegative in every trial",
+                metric="latency",
+                protocols=("SRP", "LDR", "AODV", "DSR", "OLSR"),
+                lower=0.0,
+            ),
+            BoundInvariant(
+                name="sequence-numbers-nonnegative",
+                figure="Fig. 7",
+                claim="Average node sequence numbers never go negative",
+                metric="sequence_number",
+                protocols=("SRP", "LDR", "AODV"),
+                lower=0.0,
+            ),
+        ]
+    )
+    return tuple(invariants)
+
+
+@dataclass
+class GateReport:
+    """Every invariant's outcome over one store, plus store completeness."""
+
+    outcomes: List[InvariantOutcome]
+    completed_cells: int
+    planned_cells: int
+    scale: Optional[str] = None
+    store: Optional[str] = None
+
+    def by_status(self, status: str) -> List[InvariantOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.status == status]
+
+    @property
+    def failed(self) -> List[InvariantOutcome]:
+        return self.by_status(FAIL)
+
+    @property
+    def inconclusive(self) -> List[InvariantOutcome]:
+        return self.by_status(INCONCLUSIVE)
+
+    @property
+    def passed(self) -> List[InvariantOutcome]:
+        return self.by_status(PASS)
+
+    def exit_code(self, *, strict: bool = False) -> int:
+        """``1`` on any violation (or, with ``strict``, any inconclusive)."""
+        if self.failed:
+            return 1
+        if strict and self.inconclusive:
+            return 1
+        return 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The structured report (what ``gate --json`` writes)."""
+        return {
+            "store": self.store,
+            "scale": self.scale,
+            "completed_cells": self.completed_cells,
+            "planned_cells": self.planned_cells,
+            "passed": len(self.passed),
+            "failed": len(self.failed),
+            "inconclusive": len(self.inconclusive),
+            "invariants": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+    def to_text(self, *, verbose: bool = False) -> str:
+        """The human report: one line per invariant, details on anomalies."""
+        lines = []
+        header = "Science gate"
+        if self.store:
+            header += f": {self.store}"
+        if self.scale:
+            header += f" (sweep '{self.scale}', "
+        else:
+            header += " ("
+        header += f"{self.completed_cells}/{self.planned_cells} cells)"
+        lines.append(header)
+        for outcome in self.outcomes:
+            lines.append(
+                f"  {outcome.status.upper():<13} {outcome.name:<36} "
+                f"[{outcome.figure}]"
+            )
+            if outcome.status != PASS or verbose:
+                for detail in outcome.details:
+                    lines.append(f"                  {detail}")
+        lines.append(
+            f"{len(self.outcomes)} invariants: {len(self.passed)} passed, "
+            f"{len(self.failed)} failed, {len(self.inconclusive)} inconclusive"
+        )
+        if self.failed:
+            lines.append(
+                "VIOLATED: " + ", ".join(outcome.name for outcome in self.failed)
+            )
+        return "\n".join(lines)
+
+
+def evaluate_gate(
+    results: SweepResults,
+    invariants: Optional[Sequence[Invariant]] = None,
+    *,
+    scale: Optional[str] = None,
+    store: Optional[str] = None,
+) -> GateReport:
+    """Evaluate a registry of invariants (default: the paper's) over results."""
+    registry = paper_invariants() if invariants is None else tuple(invariants)
+    planned = len(results.pause_times) * results.trials * len(results.protocols)
+    return GateReport(
+        outcomes=[invariant.evaluate(results) for invariant in registry],
+        completed_cells=len(results.summaries),
+        planned_cells=planned,
+        scale=scale,
+        store=store,
+    )

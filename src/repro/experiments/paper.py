@@ -30,7 +30,12 @@ from ..metrics.report import (
     interval_or_empty,
     series_from_results,
 )
-from ..workloads.scenario import PAPER_PAUSE_TIMES, PAPER_SCENARIO, Scenario, scaled_scenario
+from ..workloads.scenario import (
+    PAPER_PAUSE_TIMES,
+    PAPER_SCENARIO,
+    Scenario,
+    scaled_scenario,
+)
 from .executor import ExecutionProgress, execute_jobs
 from .jobs import plan_sweep
 from .runner import SweepResults, collect_sweep

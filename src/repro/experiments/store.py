@@ -148,12 +148,7 @@ class ResultsStore:
                 trials=trials,
             )
             return
-        recorded = (
-            meta["scenario"],
-            list(meta["protocols"]),
-            list(meta["pause_times"]),
-            meta["trials"],
-        )
+        recorded = self.meta_fingerprint()
         requested = (
             scenario.to_dict(),
             list(protocols),
@@ -164,8 +159,14 @@ class ResultsStore:
             raise ValueError(
                 f"{self.root} already holds a different sweep "
                 f"(scale {meta['scale']!r}); use a fresh directory or "
-                f"resume the existing sweep"
+                "resume the existing sweep"
             )
+
+    def adopt_meta(self, meta: Dict[str, Any]) -> None:
+        """Write a metadata document verbatim (used when a merge destination
+        inherits the sweep identity of its first source)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(self.meta_path, meta)
 
     def read_meta(self) -> Optional[Dict[str, Any]]:
         """The sweep metadata, or ``None`` for a fresh/foreign directory."""
@@ -183,6 +184,45 @@ class ResultsStore:
                 f"{self.root} is not a sweep results store"
             )
         return meta
+
+    # -- merging -----------------------------------------------------------------------
+
+    def meta_fingerprint(self) -> tuple:
+        """The identity of the sweep this store holds (everything that
+        determines its planned job keys).  Two stores with equal fingerprints
+        hold cells of the same sweep and can be merged losslessly."""
+        meta = self.require_meta()
+        return (
+            meta["scenario"],
+            list(meta["protocols"]),
+            list(meta["pause_times"]),
+            meta["trials"],
+        )
+
+    def merge_from(self, other: "ResultsStore") -> int:
+        """Copy every planned cell that ``other`` has and this store lacks.
+
+        Both stores must hold the *same* sweep (validated via
+        :meth:`meta_fingerprint`); cells are keyed by job content hash, so a
+        cell present in both is byte-for-byte the same result and is left
+        alone.  Returns the number of cells copied.  Orphan files in ``other``
+        that no planned job names are ignored — merging is also compaction.
+        """
+        if self.meta_fingerprint() != other.meta_fingerprint():
+            raise ValueError(
+                f"cannot merge {other.root} into {self.root}: "
+                "the directories hold different sweeps"
+            )
+        copied = 0
+        for job in self.planned_jobs():
+            if job in self:
+                continue
+            summary = other.get(job)
+            if summary is None:
+                continue
+            self.put(job, summary)
+            copied += 1
+        return copied
 
     # -- reconstruction ----------------------------------------------------------------
 

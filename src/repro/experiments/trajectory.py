@@ -1,0 +1,212 @@
+"""Cross-run tooling: merge result stores and track metrics across runs.
+
+The nightly paper-tier job uploads one store per night, so the artifacts pile
+up as independent directories.  This module provides the two operations that
+turn that pile into a record of the reproduction over time:
+
+* :func:`merge_stores` — union several stores of the *same* sweep into one
+  compacted store (cells are content-addressed, so the union is lossless and
+  idempotent; orphan files are dropped).  A timed-out nightly run merged with
+  the next night's store yields the completed sweep.
+* :func:`metric_trajectories` — read several stores (of the same *or*
+  different sweeps — one per commit/night) in order and emit, per figure and
+  protocol, the pooled metric value of each store, as structured data plus
+  ASCII sparklines.  A protocol regression then shows up as a step in the
+  trajectory even before the science gate's invariants trip.
+
+Both are surfaced by the CLI: ``python -m repro.experiments merge --out DEST
+SRC...`` and ``... trajectory DIR... [--experiment fig5] [--json PATH]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..metrics.report import interval_or_empty
+from .paper import EXPERIMENTS
+from .store import ResultsStore
+
+__all__ = [
+    "MergeReport",
+    "TrajectoryPoint",
+    "merge_stores",
+    "metric_trajectories",
+    "sparkline",
+    "trajectories_to_dict",
+    "trajectories_to_text",
+]
+
+#: Eight-level bar characters for the ASCII sparklines; missing points render
+#: as a middle dot so gaps stay visible.
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+SPARK_GAP = "·"
+
+
+@dataclass(frozen=True, slots=True)
+class MergeReport:
+    """What one :func:`merge_stores` call did."""
+
+    destination: str
+    copied: Dict[str, int]  #: source root -> cells copied from it
+    completed_cells: int
+    planned_cells: int
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_cells == self.planned_cells
+
+
+def merge_stores(
+    destination: ResultsStore, sources: Sequence[ResultsStore]
+) -> MergeReport:
+    """Union ``sources`` (stores of the same sweep) into ``destination``.
+
+    The destination may be a fresh directory (it inherits the first source's
+    metadata) or an existing store of the same sweep.  Every source must match
+    that sweep; a mismatch raises ``ValueError`` before anything is copied.
+    After merging, the assembled ``results.json`` is rewritten so downstream
+    tools see the compacted store as a completed run would have left it.
+    """
+    if not sources:
+        raise ValueError("merge needs at least one source store")
+    # Validate every source before writing anything, so a bad argument list
+    # leaves a fresh destination untouched (not stamped with a sweep identity
+    # that a corrected retry would then conflict with).
+    fresh = destination.read_meta() is None
+    fingerprint = (
+        sources[0].meta_fingerprint() if fresh else destination.meta_fingerprint()
+    )
+    for source in sources:
+        if source.meta_fingerprint() != fingerprint:
+            raise ValueError(
+                f"cannot merge {source.root} into {destination.root}: "
+                "the directories hold different sweeps"
+            )
+    if fresh:
+        destination.adopt_meta(sources[0].require_meta())
+    copied: Dict[str, int] = {}
+    for source in sources:
+        copied[source.root.as_posix()] = destination.merge_from(source)
+    results = destination.load_results()
+    destination.write_results(results)
+    planned = len(destination.planned_jobs())
+    return MergeReport(
+        destination=destination.root.as_posix(),
+        copied=copied,
+        completed_cells=len(results.summaries),
+        planned_cells=planned,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryPoint:
+    """One store's pooled value of one (figure, protocol) series."""
+
+    label: str  #: the store it came from (directory name)
+    mean: float  #: pooled over every pause time and trial; NaN when absent
+    half_width: float
+    samples: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "mean": None if math.isnan(self.mean) else self.mean,
+            "half_width": None if math.isnan(self.half_width) else self.half_width,
+            "samples": self.samples,
+        }
+
+
+def metric_trajectories(
+    stores: Sequence[ResultsStore],
+    experiments: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, List[TrajectoryPoint]]]:
+    """``figure -> protocol -> one point per store``, in the given store order.
+
+    Pass stores oldest-first (e.g. nightly artifacts by date) so the
+    sparklines read left-to-right in time.  Each point pools the metric over
+    every pause time and trial — the Table-I-style summary of that run — so
+    trajectories stay comparable even when two runs used different pause
+    grids.  A store that lacks a protocol contributes a NaN gap point.
+    """
+    wanted = list(experiments) if experiments is not None else list(EXPERIMENTS)
+    loaded = [(store.root.name, store.load_results()) for store in stores]
+    trajectories: Dict[str, Dict[str, List[TrajectoryPoint]]] = {}
+    for experiment_id in wanted:
+        definition = EXPERIMENTS[experiment_id]
+        per_protocol: Dict[str, List[TrajectoryPoint]] = {}
+        for protocol in definition.protocols:
+            points = []
+            for label, results in loaded:
+                values = results.metric_over_all_pauses(protocol, definition.metric)
+                interval = interval_or_empty(values)
+                points.append(
+                    TrajectoryPoint(
+                        label=label,
+                        mean=interval.mean,
+                        half_width=interval.half_width,
+                        samples=len(values),
+                    )
+                )
+            per_protocol[protocol] = points
+        trajectories[experiment_id] = per_protocol
+    return trajectories
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """``values`` as a bar-per-value string; NaNs render as gaps."""
+    finite = [value for value in values if not math.isnan(value)]
+    if not finite:
+        return SPARK_GAP * len(values)
+    low, high = min(finite), max(finite)
+    span = high - low
+    chars = []
+    for value in values:
+        if math.isnan(value):
+            chars.append(SPARK_GAP)
+        elif span <= 0:
+            chars.append(SPARK_LEVELS[0])
+        else:
+            level = int((value - low) / span * (len(SPARK_LEVELS) - 1))
+            chars.append(SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def trajectories_to_dict(
+    trajectories: Mapping[str, Mapping[str, Sequence[TrajectoryPoint]]],
+) -> Dict[str, Any]:
+    """The JSON document ``trajectory --json`` writes."""
+    return {
+        experiment_id: {
+            "title": EXPERIMENTS[experiment_id].title,
+            "metric": EXPERIMENTS[experiment_id].metric,
+            "protocols": {
+                protocol: [point.to_dict() for point in points]
+                for protocol, points in per_protocol.items()
+            },
+        }
+        for experiment_id, per_protocol in trajectories.items()
+    }
+
+
+def trajectories_to_text(
+    trajectories: Mapping[str, Mapping[str, Sequence[TrajectoryPoint]]],
+) -> str:
+    """Fixed-width text: one sparkline row per (figure, protocol)."""
+    lines: List[str] = []
+    for experiment_id, per_protocol in trajectories.items():
+        definition = EXPERIMENTS[experiment_id]
+        lines.append(f"{definition.title}")
+        for protocol, points in per_protocol.items():
+            means = [point.mean for point in points]
+            latest = next(
+                (m for m in reversed(means) if not math.isnan(m)), math.nan
+            )
+            lines.append(
+                f"  {protocol:<5} {sparkline(means)}  latest "
+                f"{latest:.3f}  over {len(points)} run"
+                f"{'s' if len(points) != 1 else ''}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip("\n")

@@ -15,7 +15,12 @@ from typing import Sequence
 
 from scipy import stats
 
-__all__ = ["ConfidenceInterval", "mean_confidence_interval", "intervals_disjoint"]
+__all__ = [
+    "ConfidenceInterval",
+    "intervals_disjoint",
+    "mean_confidence_interval",
+    "significantly_greater",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,3 +76,16 @@ def mean_confidence_interval(
 def intervals_disjoint(a: ConfidenceInterval, b: ConfidenceInterval) -> bool:
     """The paper's "better/worse" criterion: disjoint 95% intervals."""
     return not a.overlaps(b)
+
+
+def significantly_greater(
+    a: ConfidenceInterval, b: ConfidenceInterval, *, margin: float = 0.0
+) -> bool:
+    """True when ``a`` lies entirely above ``b`` by more than ``margin``.
+
+    This is the paper's one-sided "better" criterion with an optional slack:
+    the science gate uses ``margin`` to encode "matches" claims, so a
+    hair's-breadth mean difference at single-trial scales (where intervals
+    have zero width) does not read as a significant ordering.
+    """
+    return a.low > b.high + margin

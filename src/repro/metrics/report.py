@@ -92,7 +92,9 @@ def format_table(
         cells = [protocol.ljust(widths[0])]
         for metric, width in zip(metrics, widths[1:]):
             interval = rows[protocol][metric]
-            cells.append(f"{interval.mean:.3f} ± {interval.half_width:.3f}".ljust(width))
+            cells.append(
+                f"{interval.mean:.3f} ± {interval.half_width:.3f}".ljust(width)
+            )
         lines.append("  ".join(cells))
     return "\n".join(lines)
 

@@ -196,7 +196,7 @@ class AodvProtocol(RoutingProtocol):
         self._refresh(packet.destination)
         self.node.send_unicast(packet, next_hop)
 
-    # -- MAC callbacks ----------------------------------------------------------------------
+    # -- MAC callbacks -----------------------------------------------------------------
 
     def handle_packet(self, packet: Packet, from_node: NodeId) -> None:
         if packet.is_data:
@@ -245,7 +245,7 @@ class AodvProtocol(RoutingProtocol):
                 self.make_control_packet(self.node_id, rerr, CONTROL_SIZES["rerr"])
             )
 
-    # -- route discovery ---------------------------------------------------------------------
+    # -- route discovery ---------------------------------------------------------------
 
     def _send_rreq(self, destination: NodeId, rreq_id: int, attempt: int) -> None:
         # RFC 3561: the originator increments its own sequence number before
@@ -369,7 +369,7 @@ class AodvProtocol(RoutingProtocol):
                 )
             )
 
-    # -- metrics ----------------------------------------------------------------------------------
+    # -- metrics -----------------------------------------------------------------------
 
     def sequence_number_metric(self) -> int:
         """Fig. 7: AODV's own sequence number grows with every discovery."""

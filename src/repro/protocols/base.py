@@ -91,7 +91,7 @@ class RoutingProtocol(abc.ABC):
     def finalize(self) -> None:
         """Hook called at simulation end, before statistics are rolled up."""
 
-    # -- required behaviour -------------------------------------------------------------
+    # -- required behaviour ------------------------------------------------------------
 
     @abc.abstractmethod
     def originate_data(self, packet: Packet) -> None:
@@ -105,7 +105,7 @@ class RoutingProtocol(abc.ABC):
     def handle_link_failure(self, packet: Packet, next_hop: NodeId) -> None:
         """React to MAC-level unicast failure toward ``next_hop``."""
 
-    # -- statistics hooks ------------------------------------------------------------------
+    # -- statistics hooks --------------------------------------------------------------
 
     def sequence_number_metric(self) -> int:
         """The node's sequence-number growth for Fig. 7 (0 when not applicable).
@@ -116,7 +116,7 @@ class RoutingProtocol(abc.ABC):
         """
         return 0
 
-    # -- helpers for subclasses -----------------------------------------------------------------
+    # -- helpers for subclasses --------------------------------------------------------
 
     @property
     def simulator(self):

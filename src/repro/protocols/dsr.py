@@ -118,7 +118,7 @@ class DsrProtocol(RoutingProtocol):
             max_attempts=self.config.max_discovery_attempts,
         )
 
-    # -- route cache --------------------------------------------------------------------
+    # -- route cache -------------------------------------------------------------------
 
     def cache_route(self, route: Tuple[NodeId, ...]) -> None:
         """Remember every sub-path of ``route`` that starts at this node.
@@ -168,7 +168,7 @@ class DsrProtocol(RoutingProtocol):
             for i in range(len(route) - 1)
         )
 
-    # -- application data ---------------------------------------------------------------------
+    # -- application data --------------------------------------------------------------
 
     def originate_data(self, packet: Packet) -> None:
         if self.deliver_or_forward_hook(packet):
@@ -190,7 +190,7 @@ class DsrProtocol(RoutingProtocol):
             return
         self.node.send_unicast(packet, next_hop)
 
-    # -- MAC callbacks ---------------------------------------------------------------------------
+    # -- MAC callbacks -----------------------------------------------------------------
 
     def handle_packet(self, packet: Packet, from_node: NodeId) -> None:
         if packet.is_data:
@@ -243,7 +243,7 @@ class DsrProtocol(RoutingProtocol):
             self.make_control_packet(packet.source, rerr, CONTROL_SIZES["rerr"])
         )
 
-    # -- route discovery -------------------------------------------------------------------------------
+    # -- route discovery ---------------------------------------------------------------
 
     def _send_rreq(self, destination: NodeId, rreq_id: int, attempt: int) -> None:
         rreq = DsrRreq(
@@ -326,7 +326,7 @@ class DsrProtocol(RoutingProtocol):
     def _handle_rerr(self, rerr: DsrRerr, from_node: NodeId) -> None:
         self.remove_link(rerr.from_node, rerr.to_node)
 
-    # -- metrics -----------------------------------------------------------------------------------------
+    # -- metrics -----------------------------------------------------------------------
 
     def sequence_number_metric(self) -> int:
         """DSR has no sequence numbers (not plotted in Fig. 7)."""

@@ -208,7 +208,7 @@ class LdrProtocol(RoutingProtocol):
             entry.expires_at = self.simulator.now + self.config.route_lifetime
         self.node.send_unicast(packet, next_hop)
 
-    # -- MAC callbacks ---------------------------------------------------------------------
+    # -- MAC callbacks -----------------------------------------------------------------
 
     def handle_packet(self, packet: Packet, from_node: NodeId) -> None:
         if packet.is_data:
@@ -255,7 +255,7 @@ class LdrProtocol(RoutingProtocol):
                 )
             )
 
-    # -- route discovery --------------------------------------------------------------------
+    # -- route discovery ---------------------------------------------------------------
 
     def _send_rreq(self, destination: NodeId, rreq_id: int, attempt: int) -> None:
         entry = self.routes.get(destination)
@@ -391,7 +391,7 @@ class LdrProtocol(RoutingProtocol):
                 )
             )
 
-    # -- metrics ------------------------------------------------------------------------------------
+    # -- metrics -----------------------------------------------------------------------
 
     def sequence_number_metric(self) -> int:
         """Fig. 7: LDR's sequence number grows only on destination resets."""

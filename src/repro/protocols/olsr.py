@@ -117,7 +117,7 @@ class OlsrProtocol(RoutingProtocol):
             self.config.route_recompute_interval, self._route_tick
         )
 
-    # -- neighbour / topology state ------------------------------------------------------
+    # -- neighbour / topology state ----------------------------------------------------
 
     def _live_neighbors(self) -> Set[NodeId]:
         now = self.simulator.now
@@ -131,7 +131,7 @@ class OlsrProtocol(RoutingProtocol):
             if expiry > now
         }
 
-    # -- routing --------------------------------------------------------------------------
+    # -- routing -----------------------------------------------------------------------
 
     def _recompute_routes(self) -> None:
         """Breadth-first shortest paths over the learned topology."""
@@ -165,7 +165,7 @@ class OlsrProtocol(RoutingProtocol):
         """The current first hop toward ``destination``, if reachable."""
         return self.routing_table.get(destination)
 
-    # -- application data --------------------------------------------------------------------
+    # -- application data --------------------------------------------------------------
 
     def originate_data(self, packet: Packet) -> None:
         if self.deliver_or_forward_hook(packet):
@@ -177,7 +177,7 @@ class OlsrProtocol(RoutingProtocol):
             return
         self.node.send_unicast(packet, next_hop)
 
-    # -- MAC callbacks ------------------------------------------------------------------------------
+    # -- MAC callbacks -----------------------------------------------------------------
 
     def handle_packet(self, packet: Packet, from_node: NodeId) -> None:
         if packet.is_data:
@@ -239,7 +239,7 @@ class OlsrProtocol(RoutingProtocol):
             else:
                 self.data_drops += 1
 
-    # -- metrics ----------------------------------------------------------------------------------------
+    # -- metrics -----------------------------------------------------------------------
 
     def sequence_number_metric(self) -> int:
         """OLSR is not part of Fig. 7's sequence-number comparison."""

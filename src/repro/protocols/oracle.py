@@ -58,7 +58,7 @@ class OracleProtocol(RoutingProtocol):
                 frontier.append(neighbor)
         return None
 
-    # -- RoutingProtocol interface -----------------------------------------------------------
+    # -- RoutingProtocol interface -----------------------------------------------------
 
     def originate_data(self, packet: Packet) -> None:
         if self.deliver_or_forward_hook(packet):

@@ -137,7 +137,7 @@ class SrpProtocol(RoutingProtocol):
         self.own_sequence_number = max(self.own_sequence_number + 1, at_least)
         self.table.set_own_ordering(self.node_id, self._self_ordering(), 0.0)
 
-    # -- application data path -----------------------------------------------------------
+    # -- application data path ---------------------------------------------------------
 
     def originate_data(self, packet: Packet) -> None:
         if self.deliver_or_forward_hook(packet):
@@ -154,7 +154,7 @@ class SrpProtocol(RoutingProtocol):
         self.table.refresh_successor(packet.destination, next_hop, self.simulator.now)
         self.node.send_unicast(packet, next_hop)
 
-    # -- MAC callbacks ----------------------------------------------------------------------
+    # -- MAC callbacks -----------------------------------------------------------------
 
     def handle_packet(self, packet: Packet, from_node: NodeId) -> None:
         if packet.is_data:
@@ -196,7 +196,7 @@ class SrpProtocol(RoutingProtocol):
         if newly_invalid:
             self._send_rerr(newly_invalid)
 
-    # -- RERR --------------------------------------------------------------------------------
+    # -- RERR --------------------------------------------------------------------------
 
     def _send_rerr(
         self, destinations: List[NodeId], unicast_to: Optional[NodeId] = None
@@ -220,7 +220,7 @@ class SrpProtocol(RoutingProtocol):
         if newly_invalid:
             self._send_rerr(newly_invalid)
 
-    # -- Procedure 1: initiate solicitation -------------------------------------------------------
+    # -- Procedure 1: initiate solicitation --------------------------------------------
 
     def _initiate_solicitation(
         self, destination: NodeId, rreq_id: int, attempt: int
@@ -261,7 +261,7 @@ class SrpProtocol(RoutingProtocol):
     def _discovery_failed(self, destination: NodeId) -> None:
         self.data_drops += self.buffer.drop_all(destination)
 
-    # -- Procedure 2: relay solicitation -----------------------------------------------------------
+    # -- Procedure 2: relay solicitation -----------------------------------------------
 
     def _handle_rreq(self, rreq: SrpRreq, from_node: NodeId) -> None:
         if rreq.expired or rreq.source == self.node_id:
@@ -433,7 +433,7 @@ class SrpProtocol(RoutingProtocol):
         )
         self.node.send_broadcast(packet)
 
-    # -- Procedures 3 and 4: set route and relay advertisement ------------------------------------------
+    # -- Procedures 3 and 4: set route and relay advertisement -------------------------
 
     def _send_advertisement(
         self,
@@ -567,7 +567,7 @@ class SrpProtocol(RoutingProtocol):
         packet = self.make_control_packet(destination, rreq, CONTROL_SIZES["rreq"])
         self.node.send_unicast(packet, next_hop)
 
-    # -- metrics -----------------------------------------------------------------------------------
+    # -- metrics -----------------------------------------------------------------------
 
     def sequence_number_metric(self) -> int:
         """Fig. 7: how far this node's own sequence number grew (0 for SRP in

@@ -129,7 +129,9 @@ class SrpRoutingTable:
             expires_at=now + (lifetime or self._route_lifetime),
         )
 
-    def refresh_successor(self, destination: NodeId, neighbor: NodeId, now: float) -> None:
+    def refresh_successor(
+        self, destination: NodeId, neighbor: NodeId, now: float
+    ) -> None:
         """Extend the lifetime of a successor that just carried traffic."""
         entry = self._entries.get(destination)
         if entry and neighbor in entry.successors:
@@ -185,7 +187,7 @@ class SrpRoutingTable:
                 newly_invalid.append(destination)
         return newly_invalid
 
-    # -- forwarding ------------------------------------------------------------------------
+    # -- forwarding --------------------------------------------------------------------
 
     def next_hop(self, destination: NodeId) -> Optional[NodeId]:
         """The forwarding choice for data: the min-distance successor."""

@@ -118,7 +118,7 @@ class Mac:
             if self._receive_handler is not None:
                 self._receive_handler(frame.packet, transmitter)
 
-    # -- transmit path -------------------------------------------------------------------
+    # -- transmit path -----------------------------------------------------------------
 
     def send(self, packet: Packet, next_hop: Optional[NodeId]) -> None:
         """Queue ``packet`` for transmission to ``next_hop`` (``None`` = broadcast)."""

@@ -62,7 +62,7 @@ class Node:
         """
         return self.mobility.position_at_xy(self.simulator.now)
 
-    # -- application data path ------------------------------------------------------------
+    # -- application data path ---------------------------------------------------------
 
     def originate_data(
         self, destination: NodeId, size_bytes: int, flow_id: Optional[int] = None
@@ -86,7 +86,7 @@ class Node:
         latency = self.simulator.now - packet.created_at
         self.stats.record_data_delivered(packet.uid, latency)
 
-    # -- transmission helpers used by protocols ----------------------------------------------
+    # -- transmission helpers used by protocols ----------------------------------------
 
     def send_unicast(self, packet: Packet, next_hop: NodeId) -> None:
         """Transmit ``packet`` to a specific neighbour (with MAC retries)."""

@@ -114,13 +114,13 @@ class TrialStats:
         self.data_delivered += 1
         self.latencies.append(latency)
 
-    # -- control path -------------------------------------------------------------------
+    # -- control path ------------------------------------------------------------------
 
     def record_control_transmission(self) -> None:
         """One routing-protocol packet was put on the air (origination or relay)."""
         self.control_transmissions += 1
 
-    # -- per-node roll-ups -----------------------------------------------------------------
+    # -- per-node roll-ups -------------------------------------------------------------
 
     def record_mac_drops(self, node_id: NodeId, drops: int) -> None:
         """Final MAC drop count of one node (queue overflow + retry exhaustion)."""
@@ -130,7 +130,7 @@ class TrialStats:
         """Final protocol sequence-number growth at one node (Fig. 7)."""
         self.sequence_numbers_by_node[node_id] = sequence_number
 
-    # -- summary -------------------------------------------------------------------------------
+    # -- summary -----------------------------------------------------------------------
 
     def summary(self) -> TrialSummary:
         """Freeze the counters into an immutable summary."""

@@ -56,7 +56,8 @@ class TestFareySequence:
             return sum(1 for i in range(1, k + 1) if math.gcd(i, k) == 1)
 
         order = 9
-        assert len(farey_sequence(order)) == 1 + sum(phi(k) for k in range(1, order + 1))
+        expected = 1 + sum(phi(k) for k in range(1, order + 1))
+        assert len(farey_sequence(order)) == expected
 
     def test_rejects_order_zero(self):
         with pytest.raises(ValueError):

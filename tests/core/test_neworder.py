@@ -1,6 +1,5 @@
 """Tests for Algorithm 1 (NEWORDER) and its Theorem 6 guarantees."""
 
-import pytest
 from hypothesis import assume, given, strategies as st
 
 from repro.core.fractions import ProperFraction, UINT32_MAX
@@ -173,7 +172,9 @@ class TestTheorem6:
         )
 
     @given(any_orderings(), any_orderings(), finite_orderings())
-    def test_result_is_feasible_successor_relationship(self, current, cached, advertised):
+    def test_result_is_feasible_successor_relationship(
+        self, current, cached, advertised
+    ):
         """Eq. 5 specifically: the advertiser is a feasible successor of the
         new label, so adopting it can never create a loop (Theorem 2)."""
         assume(self._facts_hold(current, cached, advertised))

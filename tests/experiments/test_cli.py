@@ -57,7 +57,9 @@ class TestRun:
             ["run", "--scale", "benchmark", "--out", str(store_dir), "--quiet"]
             + PROTOCOL_ARGS
         )
-        assert code == 2
+        # 3, not argparse's 2: CI distinguishes "store holds a different
+        # sweep" (wipe and restart) from a usage error (fail the job).
+        assert code == 3
         assert "different sweep" in capsys.readouterr().err
 
 

@@ -130,7 +130,9 @@ class TestSweepResultsJson:
                     protocol,
                     pause,
                     0,
-                    dataclasses.replace(SUMMARY, data_sent=SUMMARY.data_sent + int(pause)),
+                    dataclasses.replace(
+                        SUMMARY, data_sent=SUMMARY.data_sent + int(pause)
+                    ),
                 )
         return results
 

@@ -120,7 +120,9 @@ class TestCrossProtocolComparison:
 
 class TestMobilityEffects:
     def test_static_network_delivers_more_than_constant_mobility(self):
-        mobile = run_trial(small_scenario(pause_time=0.0, seed=3), protocol_factory("SRP"))
+        mobile = run_trial(
+            small_scenario(pause_time=0.0, seed=3), protocol_factory("SRP")
+        )
         static = run_trial(
             small_scenario(pause_time=25.0, seed=3), protocol_factory("SRP")
         )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Hashable, Sequence, Tuple
+from typing import Callable, Dict, Hashable, Tuple
 
 from repro.sim.channel import Channel
 from repro.sim.engine import Simulator
@@ -70,7 +70,9 @@ class StaticNetwork:
         """The protocol instance of one node."""
         return self.nodes[node_id].protocol
 
-    def send_data(self, source: NodeId, destination: NodeId, *, size: int = 512) -> None:
+    def send_data(
+        self, source: NodeId, destination: NodeId, *, size: int = 512
+    ) -> None:
         """Originate one application packet at ``source``."""
         self.nodes[source].originate_data(destination, size)
 
@@ -85,7 +87,9 @@ class StaticNetwork:
         return self.stats.summary()
 
 
-def chain_positions(count: int, spacing: float = 200.0) -> Dict[int, Tuple[float, float]]:
+def chain_positions(
+    count: int, spacing: float = 200.0
+) -> Dict[int, Tuple[float, float]]:
     """Node ids 0..count-1 on a line, each ``spacing`` metres apart."""
     return {i: (i * spacing, 0.0) for i in range(count)}
 

@@ -3,11 +3,6 @@
 import pytest
 
 from repro.protocols import (
-    AodvProtocol,
-    DsrProtocol,
-    LdrProtocol,
-    OlsrProtocol,
-    OracleProtocol,
     PROTOCOLS,
     protocol_factory,
 )
@@ -104,7 +99,9 @@ class TestAodvSpecifics:
         network.start()
         protocol = network.protocol(0)
         assert protocol._update_route("D", next_hop=1, sequence_number=5, hop_count=3)
-        assert not protocol._update_route("D", next_hop=1, sequence_number=4, hop_count=1)
+        assert not protocol._update_route(
+            "D", next_hop=1, sequence_number=4, hop_count=1
+        )
         assert protocol._update_route("D", next_hop=1, sequence_number=5, hop_count=2)
         assert protocol._update_route("D", next_hop=1, sequence_number=6, hop_count=9)
 
@@ -120,7 +117,8 @@ class TestAodvSpecifics:
 
         dummy = Packet(PacketKind.DATA, 0, 3, 512, network.simulator.now)
         protocol.handle_link_failure(dummy, entry.next_hop)
-        assert not protocol.routes[3].valid or protocol.routes[3].sequence_number > before
+        route = protocol.routes[3]
+        assert not route.valid or route.sequence_number > before
 
     def test_aodv_metric_reports_own_sequence_number(self):
         network = build_chain("AODV", 3)

@@ -1,7 +1,5 @@
 """Tests for the shared on-demand machinery (RREQ cache, discovery controller)."""
 
-import pytest
-
 from repro.protocols.base import PacketBuffer
 from repro.protocols.common import ComputationState, DiscoveryController, RreqCache
 from repro.sim.engine import Simulator

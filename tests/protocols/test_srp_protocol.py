@@ -1,7 +1,5 @@
 """Tests for the SRP protocol: procedures, table behaviour and end-to-end routing."""
 
-import pytest
-
 from repro.core.fractions import ProperFraction
 from repro.core.ordering import UNASSIGNED, Ordering
 from repro.protocols.srp import SrpConfig, SrpProtocol, SrpRreq
@@ -40,7 +38,9 @@ class TestRoutingTable:
     def test_best_successor_is_min_distance(self):
         table = SrpRoutingTable()
         table.add_successor("T", "far", Ordering(1, ProperFraction(1, 3)), 5.0, now=0.0)
-        table.add_successor("T", "near", Ordering(1, ProperFraction(1, 4)), 2.0, now=0.0)
+        table.add_successor(
+            "T", "near", Ordering(1, ProperFraction(1, 4)), 2.0, now=0.0
+        )
         assert table.next_hop("T") == "near"
         assert table.alternative_next_hop("T", excluding="near") == "far"
 
@@ -55,7 +55,9 @@ class TestRoutingTable:
     def test_drop_out_of_order_successors(self):
         table = SrpRoutingTable()
         table.set_own_ordering("T", Ordering(1, ProperFraction(1, 2)), 2.0)
-        table.add_successor("T", "good", Ordering(1, ProperFraction(1, 3)), 1.0, now=0.0)
+        table.add_successor(
+            "T", "good", Ordering(1, ProperFraction(1, 3)), 1.0, now=0.0
+        )
         table.add_successor("T", "bad", Ordering(1, ProperFraction(2, 3)), 1.0, now=0.0)
         dropped = table.drop_out_of_order_successors("T")
         assert dropped == ["bad"]

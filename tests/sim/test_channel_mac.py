@@ -13,7 +13,11 @@ from repro.sim.phy import PhyConfig
 
 def make_packet(source, destination, *, kind=PacketKind.DATA, size=512):
     return Packet(
-        kind=kind, source=source, destination=destination, size_bytes=size, created_at=0.0
+        kind=kind,
+        source=source,
+        destination=destination,
+        size_bytes=size,
+        created_at=0.0,
     )
 
 

@@ -129,7 +129,10 @@ class TestRandomWaypointMobility:
         with pytest.raises(ValueError):
             self._model().position_at(-1.0)
 
-    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=2**16))
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=2**16),
+    )
     def test_any_query_time_is_valid(self, time, seed):
         """Property: the lazily extended trace always covers the query and the
         result is inside the terrain (no degenerate-leg infinite loops)."""
