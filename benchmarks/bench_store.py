@@ -1,0 +1,150 @@
+"""Store-query benchmark: key lookups on a 1k-cell results store.
+
+``ResultsStore.completed_keys()``/``missing()`` used to re-scan (or re-stat)
+the cell directory on every call; at paper scale that scan is the hot path of
+every resume, every status poll and every distributed steal cycle.  The store
+now caches the key set per instance (kept current by ``put``/``merge_from``,
+dropped explicitly via ``invalidate_key_cache()`` when other processes write
+cells), so this benchmark tracks both sides:
+
+* **cold** — the cache is invalidated before every query, i.e. the old
+  per-call rescan behaviour;
+* **warm** — the cached key set answers the query (the common case: one
+  process polling its own store).
+
+Runable two ways:
+
+* under pytest-benchmark with the rest of the suite, or
+* as a plain script — ``python benchmarks/bench_store.py --cells 1000``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ResultsStore, plan_sweep
+from repro.sim.stats import TrialSummary
+from repro.workloads.scenario import scaled_scenario
+
+#: 5 protocols x 8 pause times x 25 trials = 1000 cells (the paper-tier+
+#: regime the distributed backend polls against).
+STORE_PROTOCOLS = ("SRP", "LDR", "AODV", "DSR", "OLSR")
+STORE_PAUSE_TIMES = (0.0, 30.0, 60.0, 120.0, 300.0, 600.0, 700.0, 900.0)
+STORE_TRIALS = 25
+
+#: One synthetic summary serves every cell: the benchmark measures store
+#: queries, not simulations.
+DUMMY_SUMMARY = TrialSummary(
+    data_sent=100,
+    data_delivered=97,
+    control_transmissions=40,
+    mean_latency=0.05,
+    mac_drops_per_node=0.2,
+    average_sequence_number=0.0,
+    duplicate_deliveries=0,
+)
+
+
+def build_store(root: Path, cells: int):
+    """A store holding the first ``cells`` cells of a 1000-job sweep; returns
+    (store, planned jobs)."""
+    scenario = scaled_scenario(
+        node_count=50, flow_count=15, duration=180.0, seed=7
+    )
+    jobs = plan_sweep(
+        scenario,
+        STORE_PROTOCOLS,
+        pause_times=STORE_PAUSE_TIMES,
+        trials=STORE_TRIALS,
+    )
+    store = ResultsStore(root)
+    store.write_meta(
+        scale="bench-store",
+        scenario=scenario,
+        protocols=STORE_PROTOCOLS,
+        pause_times=STORE_PAUSE_TIMES,
+        trials=STORE_TRIALS,
+    )
+    for job in jobs[:cells]:
+        store.put(job, DUMMY_SUMMARY)
+    return store, jobs
+
+
+@pytest.fixture(scope="module")
+def populated_store(tmp_path_factory):
+    root = tmp_path_factory.mktemp("bench-store") / "store"
+    return build_store(root, cells=1000)
+
+
+def bench_missing_cold(benchmark, populated_store):
+    """missing() with the key cache invalidated per call (the old behaviour)."""
+    store, jobs = populated_store
+
+    def query():
+        store.invalidate_key_cache()
+        return store.missing(jobs)
+
+    result = benchmark(query)
+    assert result == []
+
+
+def bench_missing_warm(benchmark, populated_store):
+    """missing() answered from the cached key set (the new common case)."""
+    store, jobs = populated_store
+    store.invalidate_key_cache()
+    store.completed_keys()  # prime once
+    result = benchmark(lambda: store.missing(jobs))
+    assert result == []
+
+
+def bench_completed_keys_warm(benchmark, populated_store):
+    store, jobs = populated_store
+    store.invalidate_key_cache()
+    store.completed_keys()
+    keys = benchmark(store.completed_keys)
+    assert len(keys) == len(jobs)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cells", type=int, default=1000)
+    parser.add_argument("--repeat", type=int, default=50, metavar="N",
+                        help="queries per timing loop (default: 50)")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store, jobs = build_store(Path(tmp) / "store", args.cells)
+
+        def timed(label, fn):
+            start = time.perf_counter()
+            for _ in range(args.repeat):
+                fn()
+            per_call = (time.perf_counter() - start) / args.repeat
+            print(f"{label:<26} {per_call * 1e3:>9.3f} ms/call")
+            return per_call
+
+        print(f"{args.cells} cells, {len(jobs)} planned jobs, "
+              f"{args.repeat} calls per point")
+
+        def cold():
+            store.invalidate_key_cache()
+            store.missing(jobs)
+
+        cold_t = timed("missing() cold (rescan)", cold)
+        store.invalidate_key_cache()
+        store.completed_keys()
+        warm_t = timed("missing() warm (cached)", lambda: store.missing(jobs))
+        timed("completed_keys() warm", store.completed_keys)
+        if warm_t > 0:
+            print(f"{'speedup':<26} {cold_t / warm_t:>9.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

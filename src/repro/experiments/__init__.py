@@ -12,7 +12,20 @@ invariants over a completed store — and :mod:`~repro.experiments.trajectory`
 merges stores from successive runs and tracks per-figure metrics across them.
 """
 
-from .executor import ExecutionProgress, execute_jobs, run_job
+from .distributed import (
+    DEFAULT_LEASE_TTL,
+    DistributedBackend,
+    default_worker_id,
+    store_status,
+)
+from .executor import (
+    ExecutionProgress,
+    ProcessPoolBackend,
+    SerialBackend,
+    SweepBackend,
+    execute_jobs,
+    run_job,
+)
 from .gate import (
     BoundInvariant,
     ExactInvariant,
@@ -39,21 +52,24 @@ from .paper import (
     table1_text,
 )
 from .runner import SweepResults, collect_sweep, run_sweep
-from .store import ResultsStore
+from .store import ResultsStore, TornCellWarning
 from .trajectory import (
     MergeReport,
     TrajectoryPoint,
     merge_stores,
     metric_trajectories,
     sparkline,
+    union_results,
 )
 
 __all__ = [
+    "DEFAULT_LEASE_TTL",
     "EXPERIMENTS",
     "PAPER_PROTOCOLS",
     "SCALE_NAMES",
     "SEQUENCE_NUMBER_PROTOCOLS",
     "BoundInvariant",
+    "DistributedBackend",
     "EvaluationScale",
     "ExactInvariant",
     "ExecutionProgress",
@@ -63,11 +79,16 @@ __all__ = [
     "InvariantOutcome",
     "MergeReport",
     "OrderingInvariant",
+    "ProcessPoolBackend",
     "ResultsStore",
+    "SerialBackend",
+    "SweepBackend",
     "SweepResults",
+    "TornCellWarning",
     "TrajectoryPoint",
     "TrialJob",
     "collect_sweep",
+    "default_worker_id",
     "evaluate_gate",
     "execute_jobs",
     "figure",
@@ -81,7 +102,9 @@ __all__ = [
     "run_job",
     "run_sweep",
     "sparkline",
+    "store_status",
     "sweep_shape",
     "table1",
     "table1_text",
+    "union_results",
 ]

@@ -11,6 +11,16 @@ persistent on-disk store:
 ``resume``
     Continue an interrupted sweep from its store directory alone — the sweep's
     parameters are read back from ``sweep.json``, so no scale flags needed.
+``worker``
+    Join a *distributed* sweep: work-steal cells from a shared store via
+    lease files, run them, and write results into the same store.  Start any
+    number of workers on any number of hosts against one directory; they
+    converge on a store cell-for-cell identical to a serial run's.  A worker
+    that dies mid-cell leaves a lease that goes stale after ``--lease-ttl``
+    and is reclaimed by the survivors.
+``status``
+    Show a (possibly shared) store's progress: cells complete/torn, live and
+    stale leases, and per-worker completion counts.
 ``report``
     Render Table I and Figures 3-7 from the cells on disk, without running
     any simulation.
@@ -30,10 +40,16 @@ Examples::
     python -m repro.experiments run --scale smoke --jobs 2 --out sweep-smoke
     python -m repro.experiments run --scale paper --jobs 8 --out sweep-paper
     python -m repro.experiments resume --out sweep-paper --jobs 8
+    python -m repro.experiments worker --store /mnt/sweep --scale paper --worker-id h1
+    python -m repro.experiments status --out /mnt/sweep
     python -m repro.experiments report --out sweep-paper --experiment fig4
     python -m repro.experiments gate --out sweep-paper --json gate.json
+    python -m repro.experiments gate --out worker-a --union worker-b worker-c
     python -m repro.experiments merge --out merged night-1 night-2
     python -m repro.experiments trajectory night-* --experiment fig5
+
+(Installed as the ``repro-experiments`` console script, so multi-host workers
+need neither ``python -m`` nor ``PYTHONPATH``.)
 """
 
 from __future__ import annotations
@@ -45,6 +61,12 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from .distributed import (
+    DEFAULT_LEASE_TTL,
+    DistributedBackend,
+    default_worker_id,
+    store_status,
+)
 from .executor import ExecutionProgress, execute_jobs
 from .gate import evaluate_gate, paper_invariants
 from .jobs import TrialJob, plan_sweep
@@ -63,9 +85,10 @@ from .trajectory import (
     metric_trajectories,
     trajectories_to_dict,
     trajectories_to_text,
+    union_results,
 )
 
-__all__ = ["main"]
+__all__ = ["cli", "main"]
 
 
 def _format_eta(seconds: Optional[float]) -> str:
@@ -81,12 +104,52 @@ def _format_eta(seconds: Optional[float]) -> str:
 def _print_progress(event: ExecutionProgress) -> None:
     job = event.job
     state = "cached" if event.cached else f"{event.elapsed:7.1f}s"
+    who = f" {event.worker}" if event.worker else ""
     print(
-        f"  [{event.completed:>4}/{event.total}] {job.protocol:<5} "
+        f"  [{event.completed:>4}/{event.total}]{who} {job.protocol:<5} "
         f"pause={job.pause_time:<6g} trial={job.trial:<3} "
         f"({state}, {_format_eta(event.eta)})",
         flush=True,
     )
+
+
+def _ensure_meta_or_exit(store: ResultsStore, scale, protocols) -> Optional[int]:
+    """Stamp (or validate) the store's sweep identity; an exit code on refusal.
+
+    Shared by ``run`` and ``worker`` so the exit-code contract stays single-
+    sourced: 3 — distinct from argparse's usage-error 2 — means "store holds
+    a different sweep", which the CI nightly keys its wipe-and-retry
+    fallback on and which must not trigger on a usage error.
+    """
+    try:
+        store.ensure_meta(
+            scale=scale.name,
+            scenario=scale.scenario,
+            protocols=protocols,
+            pause_times=scale.pause_times,
+            trials=scale.trials,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    return None
+
+
+def _persist_results(
+    store: ResultsStore,
+    outcomes,
+    *,
+    pause_times: Sequence[float],
+    trials: int,
+    protocols: Sequence[str],
+) -> None:
+    """Assemble and write ``results.json`` (atomic; concurrent workers that
+    both observe completion write the same bytes, so the last rename wins
+    harmlessly)."""
+    results = collect_sweep(
+        outcomes, pause_times=pause_times, trials=trials, protocols=protocols
+    )
+    store.write_results(results)
 
 
 def _execute_and_collect(
@@ -113,10 +176,9 @@ def _execute_and_collect(
         progress=None if quiet else _print_progress,
     )
     elapsed = time.monotonic() - started
-    results = collect_sweep(
-        outcomes, pause_times=pause_times, trials=trials, protocols=protocols
+    _persist_results(
+        store, outcomes, pause_times=pause_times, trials=trials, protocols=protocols
     )
-    store.write_results(results)
     print(
         f"Sweep complete in {elapsed:.1f} s: {len(outcomes)} cells in "
         f"{store.root} (results.json written)."
@@ -128,20 +190,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     scale = resolve_scale(args.scale, trials=args.trials)
     protocols: Sequence[str] = tuple(args.protocols or PAPER_PROTOCOLS)
     store = ResultsStore(args.out)
-    try:
-        store.ensure_meta(
-            scale=scale.name,
-            scenario=scale.scenario,
-            protocols=protocols,
-            pause_times=scale.pause_times,
-            trials=scale.trials,
-        )
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        # Distinct from argparse's exit 2: the CI nightly keys its
-        # wipe-and-retry fallback on "store holds a different sweep"
-        # specifically, which must not trigger on a usage error.
-        return 3
+    code = _ensure_meta_or_exit(store, scale, protocols)
+    if code is not None:
+        return code
     jobs = plan_sweep(
         scale.scenario,
         protocols,
@@ -185,6 +236,123 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         workers=args.jobs,
         quiet=args.quiet,
     )
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.store)
+    meta = store.read_meta()
+    if args.scale is None and (args.protocols or args.trials is not None):
+        # Without --scale the sweep comes verbatim from the store's
+        # metadata; silently ignoring these would look like sharding and
+        # quietly run the full job list instead.
+        print(
+            "error: --protocols/--trials only apply when initialising a "
+            "store with --scale; a joined worker runs the sweep recorded "
+            "in the store",
+            file=sys.stderr,
+        )
+        return 2
+    if meta is None and args.scale is None:
+        print(
+            f"error: {store.root} holds no sweep yet; pass --scale to "
+            "initialise it (racing workers may — identical parameters "
+            "write identical metadata)",
+            file=sys.stderr,
+        )
+        return 2
+    # Validate the backend options before any store write: a usage error
+    # (exit 2) must not leave behind a freshly-stamped store directory.
+    try:
+        backend = DistributedBackend(
+            args.worker_id or default_worker_id(),
+            lease_ttl=args.lease_ttl,
+            poll_interval=args.poll_interval,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    worker_id = backend.worker_id
+    if args.scale is not None:
+        scale = resolve_scale(args.scale, trials=args.trials)
+        protocols: Sequence[str] = tuple(args.protocols or PAPER_PROTOCOLS)
+        code = _ensure_meta_or_exit(store, scale, protocols)
+        if code is not None:
+            return code
+        meta = store.require_meta()
+    jobs = store.planned_jobs()
+    print(
+        f"Worker {worker_id} joining sweep '{meta['scale']}' at {store.root}: "
+        f"{len(jobs) - len(store.missing(jobs))}/{len(jobs)} cells already done "
+        f"(lease ttl {args.lease_ttl:g}s)."
+    )
+    started = time.monotonic()
+    outcomes = execute_jobs(
+        jobs,
+        store=store,
+        backend=backend,
+        progress=None if args.quiet else _print_progress,
+    )
+    elapsed = time.monotonic() - started
+    # Joining an already-complete store skips run_pending (and with it the
+    # per-cycle lease housekeeping) entirely; reap abandoned leases here so
+    # a finished sweep never shows stale claims in `status` forever.
+    backend.reap_abandoned(store)
+    _persist_results(
+        store,
+        outcomes,
+        pause_times=meta["pause_times"],
+        trials=meta["trials"],
+        protocols=meta["protocols"],
+    )
+    stolen = len(jobs) - len(backend.ran_keys)
+    print(
+        f"Worker {worker_id} done in {elapsed:.1f} s: ran "
+        f"{len(backend.ran_keys)} of {len(jobs)} cells itself "
+        f"({stolen} cached or completed by other workers); sweep complete in "
+        f"{store.root} (results.json written)."
+    )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.out)
+    try:
+        status = store_status(store, lease_ttl=args.lease_ttl)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    done, planned = status["completed_cells"], status["planned_cells"]
+    state = "complete" if done == planned else "incomplete"
+    print(
+        f"Sweep '{status['scale']}' at {status['root']}: "
+        f"{done}/{planned} cells ({state})."
+    )
+    if status["torn_cells"]:
+        print(f"  torn cells (treated as missing): {len(status['torn_cells'])}")
+        for key in status["torn_cells"]:
+            print(f"    {key}")
+    for record in status["workers"]:
+        print(f"  worker {record['worker']}: {record['completed']} cells completed")
+    live = [c for c in status["claims"] if not c["stale"] and not c["orphaned"]]
+    stale = [c for c in status["claims"] if c["stale"] or c["orphaned"]]
+    for claim in live:
+        age = "age ?" if claim["age"] is None else f"age {claim['age']:.0f}s"
+        print(
+            f"  claimed: {claim['label'] or claim['key']} "
+            f"by {claim['worker']} ({age})"
+        )
+    for claim in stale:
+        kind = "orphaned" if claim["orphaned"] else "stale"
+        print(
+            f"  {kind} lease: {claim['label'] or claim['key']} "
+            f"held by {claim['worker']} (reclaimable)"
+        )
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(status, indent=1, sort_keys=True), encoding="utf-8"
+        )
+        print(f"(structured status written to {args.json})")
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -234,9 +402,16 @@ def _cmd_gate(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    results = store.load_results()
+    stores = [store] + [ResultsStore(path) for path in (args.union or ())]
+    try:
+        results = union_results(stores)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     report = evaluate_gate(
-        results, scale=meta["scale"], store=store.root.as_posix()
+        results,
+        scale=meta["scale"],
+        store="+".join(s.root.as_posix() for s in stores),
     )
     print(report.to_text(verbose=args.verbose))
     if args.json is not None:
@@ -340,6 +515,83 @@ def build_parser() -> argparse.ArgumentParser:
     add_exec_args(resume)
     resume.set_defaults(func=_cmd_resume)
 
+    worker = sub.add_parser(
+        "worker",
+        help="work-steal cells from a shared store alongside other workers "
+        "(the distributed backend)",
+    )
+    worker.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="shared results-store directory (all workers point at the same one)",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="W",
+        help="this worker's identity in leases and status "
+        "(default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        metavar="S",
+        help="seconds without a heartbeat before a lease counts as abandoned "
+        f"and its cell is stolen (default: {DEFAULT_LEASE_TTL:g})",
+    )
+    worker.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="seconds between store rescans when every remaining cell is "
+        "leased out (default: 1)",
+    )
+    worker.add_argument(
+        "--scale",
+        choices=tuple(SCALE_NAMES),
+        default=None,
+        help="initialise a fresh store with this sweep (racing identical "
+        "workers are safe); omit to join an existing store",
+    )
+    worker.add_argument(
+        "--trials", type=int, default=None, help="override trials per pause time"
+    )
+    worker.add_argument(
+        "--protocols",
+        nargs="+",
+        metavar="PROTO",
+        default=None,
+        help=f"protocol subset (default: {' '.join(PAPER_PROTOCOLS)})",
+    )
+    worker.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+    worker.set_defaults(func=_cmd_worker)
+
+    status = sub.add_parser(
+        "status",
+        help="progress of a (possibly shared) store: cells, leases, workers",
+    )
+    add_store_arg(status, required=True)
+    status.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        metavar="S",
+        help="staleness threshold used to classify leases "
+        f"(default: {DEFAULT_LEASE_TTL:g})",
+    )
+    status.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the structured status to PATH",
+    )
+    status.set_defaults(func=_cmd_status)
+
     report = sub.add_parser(
         "report", help="render Table I / Figures 3-7 from the store, no simulation"
     )
@@ -363,6 +615,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=tuple(SCALE_NAMES),
         default=None,
         help="require the store to hold a sweep of this scale",
+    )
+    gate.add_argument(
+        "--union",
+        nargs="+",
+        metavar="STORE",
+        default=None,
+        help="additional stores of the same sweep to union with --out before "
+        "asserting (per-worker stores of one distributed sweep; no merged "
+        "directory is written)",
     )
     gate.add_argument(
         "--json",
@@ -432,7 +693,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return args.func(args)
 
 
-if __name__ == "__main__":
+def cli() -> None:
+    """Console-script entry point (``repro-experiments`` in pyproject.toml)."""
     try:
         sys.exit(main())
     except BrokenPipeError:
@@ -440,5 +702,9 @@ if __name__ == "__main__":
         sys.exit(0)
     except KeyboardInterrupt:
         print("\ninterrupted; completed cells are on disk — continue with "
-              "`python -m repro.experiments resume --out DIR`", file=sys.stderr)
+              "`repro-experiments resume --out DIR`", file=sys.stderr)
         sys.exit(130)
+
+
+if __name__ == "__main__":
+    cli()

@@ -1,29 +1,37 @@
-"""Serial and process-pool execution of trial jobs, with progress and caching.
+"""Pluggable execution backends for trial jobs, with progress and caching.
 
 Every :class:`~repro.experiments.jobs.TrialJob` is a pure function of its own
-fields, so the executor is free to run jobs in any order and on any worker:
+fields, so an executor is free to run jobs in any order and on any worker:
 the result map is keyed by job, and the assembled
 :class:`~repro.experiments.runner.SweepResults` is bit-identical whichever
-backend ran it.  :func:`execute_jobs` is the single entry point:
+backend ran it.  :func:`execute_jobs` is the single entry point; the *how* is
+a :class:`SweepBackend` strategy:
 
-* ``workers <= 1`` runs jobs in order in the calling process (the legacy
-  ``run_sweep`` behaviour);
-* ``workers > 1`` fans jobs out over a ``ProcessPoolExecutor`` with bounded
-  workers, collecting results as they complete;
-* an optional :class:`~repro.experiments.store.ResultsStore` makes the run
-  persistent and resumable: completed cells are loaded instead of re-run, and
-  every fresh result is written to disk the moment it arrives, so an
-  interrupted sweep loses at most the cells in flight.
+* :class:`SerialBackend` runs jobs in order in the calling process (the
+  legacy ``run_sweep`` behaviour; ``workers <= 1``);
+* :class:`ProcessPoolBackend` fans jobs out over a ``ProcessPoolExecutor``
+  with bounded workers, collecting results as they complete
+  (``workers > 1``);
+* :class:`~repro.experiments.distributed.DistributedBackend` (own module)
+  work-steals cells from a shared store via lease files, so N processes on N
+  hosts cooperate on one sweep.
+
+An optional :class:`~repro.experiments.store.ResultsStore` makes any backend
+persistent and resumable: completed cells are loaded instead of re-run, and
+every fresh result is written to disk the moment it arrives, so an
+interrupted sweep loses at most the cells in flight.
 
 Progress is reported as structured :class:`ExecutionProgress` events
-(completed/total, cache hit or fresh run, wall-clock elapsed and a simple ETA)
-rather than print statements, so the CLI, the benchmark harness and tests can
-each render or inspect them as they like.
+(completed/total, cache hit or fresh run, wall-clock elapsed, a simple ETA
+and — for distributed runs — the reporting worker's identity) rather than
+print statements, so the CLI, the benchmark harness and tests can each render
+or inspect them as they like.
 """
 
 from __future__ import annotations
 
 import time
+from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
@@ -34,10 +42,21 @@ from ..sim.stats import TrialSummary
 from .jobs import TrialJob
 from .store import ResultsStore
 
-__all__ = ["ExecutionProgress", "execute_jobs", "run_job"]
+__all__ = [
+    "ExecutionProgress",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SweepBackend",
+    "execute_jobs",
+    "run_job",
+]
 
 #: Observer of one completed (or cache-loaded) job.
 ProgressListener = Callable[["ExecutionProgress"], None]
+
+#: How a backend reports one finished job to the tracker:
+#: ``report(job, cached=..., worker=...)``.
+CompletionReporter = Callable[..., None]
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,6 +69,7 @@ class ExecutionProgress:
     cached: bool  #: True when the result came from the store, not a run
     elapsed: float  #: wall-clock seconds since execute_jobs started
     eta: Optional[float]  #: estimated seconds remaining (None until measurable)
+    worker: Optional[str] = None  #: reporting worker's id (distributed runs)
 
     @property
     def fraction(self) -> float:
@@ -79,7 +99,9 @@ class _ProgressTracker:
         self.fresh_done = 0
         self.started = time.monotonic()
 
-    def record(self, job: TrialJob, *, cached: bool) -> None:
+    def record(
+        self, job: TrialJob, *, cached: bool, worker: Optional[str] = None
+    ) -> None:
         self.completed += 1
         if not cached:
             self.fresh_done += 1
@@ -100,8 +122,87 @@ class _ProgressTracker:
                 cached=cached,
                 elapsed=elapsed,
                 eta=eta,
+                worker=worker,
             )
         )
+
+
+class SweepBackend(ABC):
+    """Strategy for running the pending (not-yet-stored) jobs of a sweep.
+
+    :func:`execute_jobs` handles the store cache skim and progress
+    accounting; a backend only decides *how* the remaining jobs run.  The
+    contract every implementation must keep: return a summary for **every**
+    job it was given (running it, or — for cooperative backends — loading a
+    cell some other process completed), persist fresh results to ``store``
+    as they arrive, and call ``report(job, cached=..., worker=...)`` exactly
+    once per job.
+    """
+
+    #: The identity this backend reports in progress events; ``None`` for
+    #: anonymous local backends, the worker id for distributed ones (also
+    #: stamped onto the cache-skim events ``execute_jobs`` itself emits).
+    worker_id: Optional[str] = None
+
+    @abstractmethod
+    def run_pending(
+        self,
+        jobs: Sequence[TrialJob],
+        *,
+        store: Optional[ResultsStore],
+        report: CompletionReporter,
+    ) -> Dict[TrialJob, TrialSummary]:
+        """Run (or otherwise obtain) every job; ``{job: summary}``."""
+
+
+class SerialBackend(SweepBackend):
+    """Run jobs one after another in the calling process."""
+
+    def run_pending(
+        self,
+        jobs: Sequence[TrialJob],
+        *,
+        store: Optional[ResultsStore],
+        report: CompletionReporter,
+    ) -> Dict[TrialJob, TrialSummary]:
+        outcomes: Dict[TrialJob, TrialSummary] = {}
+        for job in jobs:
+            summary = run_job(job)
+            if store is not None:
+                store.put(job, summary)
+            outcomes[job] = summary
+            report(job, cached=False)
+        return outcomes
+
+
+class ProcessPoolBackend(SweepBackend):
+    """Fan jobs out over a bounded ``ProcessPoolExecutor``."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def run_pending(
+        self,
+        jobs: Sequence[TrialJob],
+        *,
+        store: Optional[ResultsStore],
+        report: CompletionReporter,
+    ) -> Dict[TrialJob, TrialSummary]:
+        outcomes: Dict[TrialJob, TrialSummary] = {}
+        max_workers = min(self.workers, len(jobs)) or 1
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {pool.submit(_pool_run_job, job) for job in jobs}
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    job, summary = future.result()
+                    if store is not None:
+                        store.put(job, summary)
+                    outcomes[job] = summary
+                    report(job, cached=False)
+        return outcomes
 
 
 def execute_jobs(
@@ -110,15 +211,21 @@ def execute_jobs(
     workers: int = 1,
     store: Optional[ResultsStore] = None,
     progress: Optional[ProgressListener] = None,
+    backend: Optional[SweepBackend] = None,
 ) -> Dict[TrialJob, TrialSummary]:
     """Run every job, returning ``{job: summary}`` for the whole sweep.
 
     With a ``store``, cells already on disk are loaded (reported as
     ``cached=True`` progress events) and fresh results are persisted as they
-    complete.  Results are independent of ``workers`` and of completion order:
-    at fixed seeds the returned map is bit-identical across the serial path,
-    the pool path and the legacy monolithic loop.
+    complete.  ``backend`` picks the execution strategy explicitly; when
+    omitted, ``workers`` selects :class:`SerialBackend` (``<= 1``) or
+    :class:`ProcessPoolBackend`.  Results are independent of the backend and
+    of completion order: at fixed seeds the returned map is bit-identical
+    across the serial path, the pool path, distributed workers and the legacy
+    monolithic loop.
     """
+    if backend is None:
+        backend = SerialBackend() if workers <= 1 else ProcessPoolBackend(workers)
     tracker = _ProgressTracker(len(jobs), progress)
     outcomes: Dict[TrialJob, TrialSummary] = {}
 
@@ -127,28 +234,12 @@ def execute_jobs(
         cached = store.get(job) if store is not None else None
         if cached is not None:
             outcomes[job] = cached
-            tracker.record(job, cached=True)
+            tracker.record(job, cached=True, worker=backend.worker_id)
         else:
             pending.append(job)
 
-    if workers <= 1:
-        for job in pending:
-            summary = run_job(job)
-            if store is not None:
-                store.put(job, summary)
-            outcomes[job] = summary
-            tracker.record(job, cached=False)
-        return outcomes
-
-    max_workers = min(workers, len(pending)) or 1
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = {pool.submit(_pool_run_job, job) for job in pending}
-        while futures:
-            done, futures = wait(futures, return_when=FIRST_COMPLETED)
-            for future in done:
-                job, summary = future.result()
-                if store is not None:
-                    store.put(job, summary)
-                outcomes[job] = summary
-                tracker.record(job, cached=False)
+    if pending:
+        outcomes.update(
+            backend.run_pending(pending, store=store, report=tracker.record)
+        )
     return outcomes

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..workloads.scenario import Scenario
 
@@ -42,17 +42,45 @@ class TrialJob:
     pause_time: float
     trial: int
     seed: int
+    # Memoised digest: every store lookup (resume skims, distributed steal
+    # cycles, missing() polls) keys on it, and serialising the scenario plus
+    # sha256 per call dominated those paths at 1k-cell scale.
+    _key: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def content_key(self) -> str:
         """A stable hex digest of everything that determines this job's result."""
-        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+        if self._key is None:
+            payload = json.dumps(
+                self.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+            digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+            object.__setattr__(self, "_key", digest)  # frozen-safe memo
+        return self._key
 
     @property
     def cell(self) -> Tuple[str, float, int]:
         """The (protocol, pause time, trial) index of this job in a SweepResults."""
         return (self.protocol, self.pause_time, self.trial)
+
+    def cell_dict(self) -> Dict[str, Any]:
+        """The cell identity as JSON-safe metadata.
+
+        Carried in distributed workers' lease files so ``status`` can say
+        *what* a worker is running, not just which opaque content key.
+        """
+        return {
+            "protocol": self.protocol,
+            "pause_time": self.pause_time,
+            "trial": self.trial,
+        }
+
+    @property
+    def cell_label(self) -> str:
+        """The cell as one short human-readable token (progress/status lines)."""
+        return f"{self.protocol} pause={self.pause_time:g} trial={self.trial}"
 
     # -- serialization ---------------------------------------------------------------
 

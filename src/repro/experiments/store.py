@@ -6,22 +6,46 @@ A paper-scale sweep is 400 independent 900 s simulations; killing it at cell
 job's content key, so a re-planned sweep (same parameters -> same keys) reuses
 every completed cell and only the missing ones run.  One-file-per-cell keeps
 the store crash-safe without locking: files are written to a temp name and
-atomically renamed, so a store never contains a half-written cell.
+atomically renamed, so a store never contains a half-written cell.  A cell
+that *is* truncated or unparsable (a torn artifact download, a foreign
+writer) is treated as missing — reported via :meth:`torn_keys` and a
+``TornCellWarning`` — never as a crash.
+
+Since the distributed backend (PR 4), a store is also the coordination
+surface for several concurrent writers: ``claims/<key>.lease`` files record
+which worker owns which in-flight cell (published atomically via ``link(2)``
+so exactly one claimant wins; refreshed by heartbeat; reclaimed once stale), and
+``workers/<id>.json`` records which worker completed which cells, for the
+``status`` subcommand.  Leases and worker records are bookkeeping only: cell
+files never mention the worker that wrote them, so N workers converge on a
+store byte-identical to a serial run's.
 
 Layout::
 
     <root>/
-        sweep.json        sweep-level metadata (scale, scenario, protocols, ...)
-        results.json      optional SweepResults dump written after a full run
-        jobs/<key>.json   {"version", "job": {...}, "summary": {...}} per cell
+        sweep.json         sweep-level metadata (scale, scenario, protocols, ...)
+        results.json       optional SweepResults dump written after a full run
+        jobs/<key>.json    {"version", "job": {...}, "summary": {...}} per cell
+        claims/<key>.lease {"worker", "claimed_at", "heartbeat", ...} in-flight
+        workers/<id>.json  {"worker", "completed": [keys], "updated"} provenance
 """
 
 from __future__ import annotations
 
 import json
 import os
+import uuid
+import warnings
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
 
 from ..sim.stats import TrialSummary
 from .jobs import TrialJob, plan_sweep
@@ -29,15 +53,29 @@ from .jobs import TrialJob, plan_sweep
 if TYPE_CHECKING:  # import cycle guard: runner -> executor -> store
     from .runner import SweepResults
 
-__all__ = ["ResultsStore"]
+__all__ = ["ResultsStore", "TornCellWarning"]
 
 STORE_VERSION = 1
+
+
+class TornCellWarning(UserWarning):
+    """A cell file existed but held truncated/invalid JSON; treated as missing."""
+
+
+def _tmp_name(path: Path) -> Path:
+    """A writer-unique temp sibling of ``path``.
+
+    PIDs alone are not unique across the hosts that share a distributed
+    store (PID spaces are per-host), so two fleet writers with colliding
+    PIDs could interleave one temp file; the uuid makes the name unique
+    everywhere."""
+    return path.with_suffix(path.suffix + f".tmp{os.getpid()}-{uuid.uuid4().hex[:8]}")
 
 
 def _atomic_write_json(path: Path, data: Any) -> None:
     """Write JSON to ``path`` via a temp file + rename, so readers never see a
     partial file and a killed writer leaves no corrupt cell behind."""
-    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+    tmp = _tmp_name(path)
     tmp.write_text(json.dumps(data, sort_keys=True, indent=1), encoding="utf-8")
     os.replace(tmp, path)
 
@@ -50,8 +88,16 @@ class ResultsStore:
         # must not litter empty directories. Writers create lazily.
         self.root = Path(root)
         self.jobs_dir = self.root / "jobs"
+        self.claims_dir = self.root / "claims"
+        self.workers_dir = self.root / "workers"
         self.meta_path = self.root / "sweep.json"
         self.results_path = self.root / "results.json"
+        # Key-set cache: the cell directory is scanned once per instance, not
+        # once per completed_keys()/missing() call (a 1k-cell store makes that
+        # scan the hot path of every resume/status poll).  `put` keeps it
+        # current; concurrent *other* writers need invalidate_key_cache().
+        self._key_cache: Optional[Set[str]] = None
+        self._torn: Set[str] = set()
 
     # -- per-cell results ------------------------------------------------------------
 
@@ -70,32 +116,86 @@ class ResultsStore:
                 "summary": summary.to_dict(),
             },
         )
+        if self._key_cache is not None:
+            self._key_cache.add(job.content_key)
+        self._torn.discard(job.content_key)
 
     def get(self, job: TrialJob) -> Optional[TrialSummary]:
-        """The stored summary for ``job``, or ``None`` if the cell is missing."""
+        """The stored summary for ``job``, or ``None`` if the cell is missing.
+
+        A cell file that exists but cannot be parsed (truncated by a torn
+        download, written by something other than :meth:`put`) counts as
+        missing too: it is recorded in :meth:`torn_keys`, a
+        :class:`TornCellWarning` is emitted once, and the caller re-runs the
+        job — required for crash-safe distributed writers, where a reader
+        must never die on a cell another host is responsible for.
+        """
         path = self._cell_path(job.content_key)
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
         except FileNotFoundError:
             return None
-        version = data.get("version")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._mark_torn(job.content_key, path, repr(exc))
+            return None
+        version = data.get("version") if isinstance(data, dict) else None
         if version != STORE_VERSION:
             raise ValueError(
                 f"{path} was written by an incompatible store version "
                 f"({version!r}; this code reads {STORE_VERSION})"
             )
-        return TrialSummary.from_dict(data["summary"])
+        try:
+            summary = TrialSummary.from_dict(data["summary"])
+        except (KeyError, TypeError) as exc:
+            self._mark_torn(job.content_key, path, repr(exc))
+            return None
+        if self._key_cache is not None:
+            self._key_cache.add(job.content_key)
+        self._torn.discard(job.content_key)
+        return summary
+
+    def _mark_torn(self, key: str, path: Path, reason: str) -> None:
+        if key not in self._torn:
+            warnings.warn(
+                f"cell {path} is torn ({reason}); treating it as missing",
+                TornCellWarning,
+                stacklevel=3,
+            )
+        self._torn.add(key)
+        if self._key_cache is not None:
+            self._key_cache.discard(key)
 
     def __contains__(self, job: TrialJob) -> bool:
-        return self._cell_path(job.content_key).exists()
+        return job.content_key in self._keys()
+
+    def _keys(self) -> Set[str]:
+        if self._key_cache is None:
+            self._key_cache = {
+                p.stem for p in self.jobs_dir.glob("*.json")
+            } - self._torn
+        return self._key_cache
 
     def completed_keys(self) -> List[str]:
-        """Content keys of every completed cell on disk."""
-        return sorted(p.stem for p in self.jobs_dir.glob("*.json"))
+        """Content keys of every completed cell on disk (cached per instance;
+        see :meth:`invalidate_key_cache` for multi-writer refresh)."""
+        return sorted(self._keys())
 
     def missing(self, jobs: Sequence[TrialJob]) -> List[TrialJob]:
         """The subset of ``jobs`` without a stored result, in input order."""
         return [job for job in jobs if job not in self]
+
+    def invalidate_key_cache(self) -> None:
+        """Drop the cached key set so the next query re-scans the directory.
+
+        Call between polls when *other* processes write cells into the same
+        store (the distributed backend does, once per steal cycle); a
+        single-writer store never needs it.
+        """
+        self._key_cache = None
+
+    def torn_keys(self) -> List[str]:
+        """Keys of cells found torn (unparsable) so far, by this instance."""
+        return sorted(self._torn)
 
     # -- sweep-level metadata ----------------------------------------------------------
 
@@ -136,10 +236,24 @@ class ResultsStore:
         Guards every writer against silently clobbering a store that holds a
         *different* sweep — overwritten metadata would re-plan fewer/other
         cells and orphan completed results.  Raises ``ValueError`` when the
-        directory already records different parameters.
+        directory already records different parameters.  Safe under
+        concurrent identical writers (several ``worker`` processes starting
+        against one fresh shared store): the write is atomic and the content
+        deterministic, so racing writers produce the same bytes.  Racing
+        writers with *different* parameters would otherwise both see an
+        empty directory and both "win", so after writing we re-read and
+        compare — the loser of the last-write race gets the same
+        ``ValueError`` a late arrival would (a sub-millisecond window where
+        both re-reads precede the second write remains; nothing short of
+        real locks closes it).
         """
-        meta = self.read_meta()
-        if meta is None:
+        requested = (
+            scenario.to_dict(),
+            list(protocols),
+            list(pause_times),
+            trials,
+        )
+        if self.read_meta() is None:
             self.write_meta(
                 scale=scale,
                 scenario=scenario,
@@ -147,14 +261,8 @@ class ResultsStore:
                 pause_times=pause_times,
                 trials=trials,
             )
-            return
+        meta = self.require_meta()
         recorded = self.meta_fingerprint()
-        requested = (
-            scenario.to_dict(),
-            list(protocols),
-            list(pause_times),
-            trials,
-        )
         if recorded != requested:
             raise ValueError(
                 f"{self.root} already holds a different sweep "
@@ -185,6 +293,246 @@ class ResultsStore:
             )
         return meta
 
+    # -- work claims (distributed workers) ---------------------------------------------
+
+    def _lease_path(self, key: str) -> Path:
+        return self.claims_dir / f"{key}.lease"
+
+    def try_claim(
+        self,
+        key: str,
+        worker_id: str,
+        *,
+        now: float,
+        nonce: Optional[str] = None,
+        cell: Optional[Dict[str, Any]] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Atomically claim ``key`` for ``worker_id``; the claim dict on
+        success, ``None`` when another worker already holds the lease.
+
+        The lease appears atomically: the document is written to a private
+        temp file and ``os.link``ed to the lease path, so of any number of
+        racing claimants exactly one wins (link fails on an existing target)
+        and no reader ever observes a partially-written lease — which
+        matters because a torn lease counts as *immediately* stale.
+        ``nonce`` should be unique per claim attempt (the winner re-reads
+        the lease and compares the whole document before running; see
+        ``DistributedBackend``), and ``cell`` carries the job's
+        human-readable identity for ``status`` output.
+        """
+        self.claims_dir.mkdir(parents=True, exist_ok=True)
+        claim = {
+            "version": STORE_VERSION,
+            "worker": worker_id,
+            "claimed_at": now,
+            "heartbeat": now,
+            "nonce": nonce,
+            "cell": cell,
+        }
+        tmp = _tmp_name(self._lease_path(key))
+        tmp.write_text(json.dumps(claim, sort_keys=True), encoding="utf-8")
+        try:
+            os.link(tmp, self._lease_path(key))
+        except FileExistsError:
+            return None
+        except FileNotFoundError:
+            # Our tmp file vanished under us (an aggressive cleaner on the
+            # shared dir); treat the claim as lost, never as an error.
+            return None
+        finally:
+            tmp.unlink(missing_ok=True)
+        return claim
+
+    def read_claim(self, key: str) -> Optional[Dict[str, Any]]:
+        """The lease document for ``key``, ``None`` when unclaimed, ``{}``
+        when the lease file itself is torn (a killed writer; reclaimable)."""
+        try:
+            data = json.loads(self._lease_path(key).read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def refresh_claim(
+        self, key: str, worker_id: str, *, now: float
+    ) -> Optional[Dict[str, Any]]:
+        """Heartbeat: advance our lease's timestamp; the refreshed claim, or
+        ``None`` when the lease is gone or no longer ours (stolen as stale —
+        the caller should stop assuming ownership)."""
+        claim = self.read_claim(key)
+        if not claim or claim.get("worker") != worker_id:
+            return None
+        claim["heartbeat"] = now
+        _atomic_write_json(self._lease_path(key), claim)
+        return claim
+
+    def release_claim(self, key: str, worker_id: str) -> None:
+        """Drop our lease on ``key`` (a lease someone else now holds is kept)."""
+        claim = self.read_claim(key)
+        if claim is not None and claim.get("worker") == worker_id:
+            try:
+                self._lease_path(key).unlink()
+            except FileNotFoundError:
+                pass
+
+    @staticmethod
+    def claim_is_stale(
+        claim: Optional[Dict[str, Any]], *, ttl: float, now: float
+    ) -> bool:
+        """Whether a lease's owner has missed its heartbeat for over ``ttl``
+        seconds (a torn lease ``{}`` is immediately stale).
+
+        The heartbeat was stamped by the *owner's* clock and ``now`` comes
+        from the reader's, so multi-host fleets assume wall clocks agree to
+        well within the TTL (NTP is plenty for the 60 s default; raise
+        ``--lease-ttl`` if your hosts drift more).  Skew beyond the TTL
+        makes live leases look abandoned — cells get re-run (duplicated
+        deterministic work), never corrupted.
+        """
+        if claim is None:
+            return False
+        heartbeat = claim.get("heartbeat", claim.get("claimed_at"))
+        if heartbeat is None:
+            return True
+        return (now - heartbeat) > ttl
+
+    def reap_stale_lease(
+        self, key: str, worker_id: str, *, ttl: float, now: float
+    ) -> bool:
+        """Remove ``key``'s lease if its owner's heartbeat lapsed; True when
+        this call removed it.
+
+        Race-safe without locks: the stale lease is first *renamed* to a
+        claimant-unique graveyard name — of several racing reapers only one
+        rename succeeds, the rest get ``FileNotFoundError`` — and the moved
+        document is re-checked for staleness before deletion.  If the rename
+        yanked a lease that turned out to be live (its owner refreshed
+        between our read and our rename), it is put back.
+        """
+        claim = self.read_claim(key)
+        if claim is None or not self.claim_is_stale(claim, ttl=ttl, now=now):
+            return False
+        lease = self._lease_path(key)
+        grave = self.claims_dir / f"{key}.reaped-by-{worker_id}"
+        try:
+            os.rename(lease, grave)
+        except FileNotFoundError:
+            return False
+        try:
+            moved = json.loads(grave.read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError, UnicodeDecodeError):
+            moved = {}
+        if isinstance(moved, dict) and not self.claim_is_stale(
+            moved, ttl=ttl, now=now
+        ):
+            # We raced a fresh claimant; restore their lease and back off.
+            # (If yet another claimant created a new lease in the gap, the
+            # restore overwrites it with the live document we displaced —
+            # the verify-after-claim step in the backend resolves who runs.)
+            os.replace(grave, lease)
+            return False
+        grave.unlink(missing_ok=True)
+        return True
+
+    def reclaim_stale(
+        self,
+        key: str,
+        worker_id: str,
+        *,
+        ttl: float,
+        now: float,
+        nonce: Optional[str] = None,
+        cell: Optional[Dict[str, Any]] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Take over a stale lease; the new claim on success, else ``None``.
+
+        :meth:`reap_stale_lease` settles which of several racing reclaimers
+        gets to delete the stale lease; the winner then claims the freed key
+        via :meth:`try_claim` (which can still lose to a third worker that
+        links a new lease in the gap — callers must treat ``None`` as "someone
+        else owns it now").
+        """
+        if not self.reap_stale_lease(key, worker_id, ttl=ttl, now=now):
+            return None
+        return self.try_claim(key, worker_id, now=now, nonce=nonce, cell=cell)
+
+    def reap_graveyard(self, *, ttl: float, now: float) -> int:
+        """Delete leftover ``*.reaped-by-*`` files from reapers that died
+        between their rename and unlink; the number removed.
+
+        Only graves whose *content* is stale (or unreadable) are deleted: a
+        grave holding a live document belongs to a reaper that just yanked a
+        refreshed lease and is about to restore it — leave it alone.
+        (``*.lease.tmp*`` litter from a claimant killed between temp write
+        and link is deliberately *not* swept: unlike graves — renamed from
+        complete documents — a tmp file can legitimately be mid-write, and
+        deleting one under a live claimant would break its link step.)
+        """
+        removed = 0
+        for path in self.claims_dir.glob("*.reaped-by-*"):
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (FileNotFoundError, json.JSONDecodeError, UnicodeDecodeError):
+                data = {}
+            if not isinstance(data, dict):
+                data = {}
+            if self.claim_is_stale(data, ttl=ttl, now=now):
+                try:
+                    path.unlink()
+                    removed += 1
+                except FileNotFoundError:
+                    pass
+        return removed
+
+    def claims(self) -> Dict[str, Dict[str, Any]]:
+        """Every current lease, ``{content key: claim document}``."""
+        found: Dict[str, Dict[str, Any]] = {}
+        for path in self.claims_dir.glob("*.lease"):
+            if ".reaped-by-" in path.name:
+                continue  # graveyard litter, not a lease (see reap_graveyard)
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except FileNotFoundError:
+                continue  # released between glob and read: simply unclaimed
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                data = {}  # genuinely torn (killed writer): reclaimable
+            found[path.name[: -len(".lease")]] = (
+                data if isinstance(data, dict) else {}
+            )
+        return found
+
+    # -- worker provenance -------------------------------------------------------------
+
+    def record_worker_cells(
+        self, worker_id: str, keys: Sequence[str], *, now: float
+    ) -> None:
+        """Record which cells ``worker_id`` has completed (for ``status``);
+        bookkeeping only — cell files themselves stay worker-agnostic so
+        distributed stores remain byte-identical to serial ones."""
+        self.workers_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(
+            self.workers_dir / f"{worker_id}.json",
+            {
+                "version": STORE_VERSION,
+                "worker": worker_id,
+                "completed": sorted(keys),
+                "updated": now,
+            },
+        )
+
+    def worker_records(self) -> Dict[str, Dict[str, Any]]:
+        """``{worker id: record}`` for every worker that wrote into this store."""
+        records: Dict[str, Dict[str, Any]] = {}
+        for path in self.workers_dir.glob("*.json"):
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (FileNotFoundError, json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if isinstance(data, dict) and data.get("worker"):
+                records[data["worker"]] = data
+        return records
+
     # -- merging -----------------------------------------------------------------------
 
     def meta_fingerprint(self) -> tuple:
@@ -199,20 +547,29 @@ class ResultsStore:
             meta["trials"],
         )
 
+    def require_same_sweep(self, other: "ResultsStore", *, action: str) -> None:
+        """Raise ``ValueError`` unless ``other`` holds this store's sweep.
+
+        The single definition of "combinable" shared by merge, union and
+        cell comparison — anything that would mix cells of two different
+        sweeps must fail through here, so the contract cannot drift.
+        """
+        if self.meta_fingerprint() != other.meta_fingerprint():
+            raise ValueError(
+                f"cannot {action} {other.root} and {self.root}: "
+                "the directories hold different sweeps"
+            )
+
     def merge_from(self, other: "ResultsStore") -> int:
         """Copy every planned cell that ``other`` has and this store lacks.
 
         Both stores must hold the *same* sweep (validated via
-        :meth:`meta_fingerprint`); cells are keyed by job content hash, so a
-        cell present in both is byte-for-byte the same result and is left
+        :meth:`require_same_sweep`); cells are keyed by job content hash, so
+        a cell present in both is byte-for-byte the same result and is left
         alone.  Returns the number of cells copied.  Orphan files in ``other``
         that no planned job names are ignored — merging is also compaction.
         """
-        if self.meta_fingerprint() != other.meta_fingerprint():
-            raise ValueError(
-                f"cannot merge {other.root} into {self.root}: "
-                "the directories hold different sweeps"
-            )
+        self.require_same_sweep(other, action="merge")
         copied = 0
         for job in self.planned_jobs():
             if job in self:
@@ -223,6 +580,22 @@ class ResultsStore:
             self.put(job, summary)
             copied += 1
         return copied
+
+    def diff_cells(self, other: "ResultsStore") -> List[str]:
+        """Content keys of planned cells on which the two stores disagree.
+
+        Agreement is strict: the cell must exist in both and hold an equal
+        summary (content-addressed cells make byte-identity follow).  Used by
+        the distributed-vs-serial equivalence checks in tests and CI; an
+        empty list means the stores are cell-for-cell identical.
+        """
+        self.require_same_sweep(other, action="compare")
+        mismatched = []
+        for job in self.planned_jobs():
+            mine, theirs = self.get(job), other.get(job)
+            if mine is None or theirs is None or mine != theirs:
+                mismatched.append(job.content_key)
+        return mismatched
 
     # -- reconstruction ----------------------------------------------------------------
 
@@ -241,8 +614,9 @@ class ResultsStore:
     def load_results(self, *, require_complete: bool = False) -> SweepResults:
         """Assemble a :class:`SweepResults` from the cells on disk.
 
-        Missing cells are simply absent from the result (``SweepResults``
-        queries tolerate that) unless ``require_complete`` is set.
+        Missing cells — including torn ones, which :meth:`get` reports and
+        skips — are simply absent from the result (``SweepResults`` queries
+        tolerate that) unless ``require_complete`` is set.
         """
         from .runner import SweepResults
 
@@ -270,6 +644,6 @@ class ResultsStore:
     def write_results(self, results: SweepResults) -> None:
         """Dump the assembled sweep as one ``results.json`` for downstream tools."""
         self.root.mkdir(parents=True, exist_ok=True)
-        tmp = self.results_path.with_suffix(f".tmp{os.getpid()}")
+        tmp = _tmp_name(self.results_path)
         tmp.write_text(results.to_json(indent=1), encoding="utf-8")
         os.replace(tmp, self.results_path)

@@ -36,6 +36,7 @@ __all__ = [
     "sparkline",
     "trajectories_to_dict",
     "trajectories_to_text",
+    "union_results",
 ]
 
 #: Eight-level bar characters for the ASCII sparklines; missing points render
@@ -75,15 +76,9 @@ def merge_stores(
     # leaves a fresh destination untouched (not stamped with a sweep identity
     # that a corrected retry would then conflict with).
     fresh = destination.read_meta() is None
-    fingerprint = (
-        sources[0].meta_fingerprint() if fresh else destination.meta_fingerprint()
-    )
+    reference = sources[0] if fresh else destination
     for source in sources:
-        if source.meta_fingerprint() != fingerprint:
-            raise ValueError(
-                f"cannot merge {source.root} into {destination.root}: "
-                "the directories hold different sweeps"
-            )
+        reference.require_same_sweep(source, action="merge")
     if fresh:
         destination.adopt_meta(sources[0].require_meta())
     copied: Dict[str, int] = {}
@@ -98,6 +93,33 @@ def merge_stores(
         completed_cells=len(results.summaries),
         planned_cells=planned,
     )
+
+
+def union_results(stores: Sequence[ResultsStore]):
+    """The :class:`~repro.experiments.runner.SweepResults` of several stores
+    of the same sweep, unioned in memory — no merged directory written.
+
+    The read-only sibling of :func:`merge_stores`, for asserting over a
+    fleet's output without materialising it: the science gate runs over the
+    union of per-worker stores exactly as it would over one shared store.
+    For each planned cell the first store holding it wins; cells are
+    content-addressed, so any store holding a cell holds the same bytes.
+    """
+    if not stores:
+        raise ValueError("union needs at least one store")
+    first = stores[0]
+    for store in stores[1:]:
+        first.require_same_sweep(store, action="union")
+    results = first.load_results()
+    jobs = first.planned_jobs()
+    for store in stores[1:]:
+        for job in jobs:
+            if job.cell in results.summaries:
+                continue
+            summary = store.get(job)
+            if summary is not None:
+                results.add(job.protocol, job.pause_time, job.trial, summary)
+    return results
 
 
 @dataclass(frozen=True, slots=True)

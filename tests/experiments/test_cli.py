@@ -75,11 +75,106 @@ class TestResume:
         code = main(["resume", "--out", str(store_dir), "--quiet"])
         assert code == 0
         assert "3/4 cells already done" in capsys.readouterr().out
+        store.invalidate_key_cache()  # the resume wrote through another instance
         assert len(store.completed_keys()) == 4
         assert store.get(victim) == removed  # deterministic re-run, same cell
 
     def test_resume_needs_an_existing_store(self, tmp_path, capsys):
         code = main(["resume", "--out", str(tmp_path / "nowhere")])
+        assert code == 2
+        assert "not a sweep results store" in capsys.readouterr().err
+
+
+class TestWorkerAndStatus:
+    """The distributed subcommands, single-worker end to end (the concurrent
+    paths are covered in test_distributed.py)."""
+
+    @pytest.fixture(scope="class")
+    def worker_store(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("worker") / "shared"
+        code = main(
+            ["worker", "--store", str(out), "--scale", "smoke",
+             "--worker-id", "solo", "--quiet"] + PROTOCOL_ARGS
+        )
+        assert code == 0
+        return out
+
+    def test_worker_initialises_and_completes_the_store(self, worker_store):
+        store = ResultsStore(worker_store)
+        assert store.require_meta()["scale"] == "smoke"
+        assert len(store.completed_keys()) == 4
+        assert store.results_path.exists()
+        assert store.claims() == {}  # every lease released
+        records = store.worker_records()
+        assert list(records) == ["solo"]
+        assert len(records["solo"]["completed"]) == 4
+
+    def test_worker_store_matches_run_store(self, worker_store, store_dir):
+        worker = ResultsStore(worker_store)
+        serial = ResultsStore(store_dir)
+        assert serial.diff_cells(worker) == []
+
+    def test_worker_without_meta_or_scale_is_an_error(self, tmp_path, capsys):
+        code = main(["worker", "--store", str(tmp_path / "empty")])
+        assert code == 2
+        assert "no sweep" in capsys.readouterr().err
+
+    def test_worker_rejects_shape_flags_without_scale(
+        self, worker_store, capsys
+    ):
+        # Silently ignoring these would look like sharding while actually
+        # running the store's full job list.
+        code = main(
+            ["worker", "--store", str(worker_store), "--protocols", "SRP"]
+        )
+        assert code == 2
+        assert "--scale" in capsys.readouterr().err
+
+    def test_worker_bad_options_are_usage_errors(
+        self, worker_store, tmp_path, capsys
+    ):
+        code = main(
+            ["worker", "--store", str(worker_store), "--worker-id", "a/b"]
+        )
+        assert code == 2
+        assert "filesystem-safe" in capsys.readouterr().err
+        # Against a *fresh* store the usage error must also not leave a
+        # stamped directory behind (a retry with another --scale would
+        # otherwise hit the sweep-mismatch exit 3).
+        fresh = tmp_path / "fresh"
+        code = main(
+            ["worker", "--store", str(fresh), "--scale", "smoke",
+             "--lease-ttl", "0"]
+        )
+        assert code == 2
+        assert "lease_ttl" in capsys.readouterr().err
+        assert not fresh.exists()
+
+    def test_worker_scale_conflict_exits_3(self, worker_store, capsys):
+        code = main(
+            ["worker", "--store", str(worker_store), "--scale", "benchmark",
+             "--quiet"] + PROTOCOL_ARGS
+        )
+        assert code == 3
+        assert "different sweep" in capsys.readouterr().err
+
+    def test_status_reports_completion_and_workers(
+        self, worker_store, tmp_path, capsys
+    ):
+        json_path = tmp_path / "status.json"
+        code = main(
+            ["status", "--out", str(worker_store), "--json", str(json_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4/4 cells (complete)" in out
+        assert "worker solo: 4 cells completed" in out
+        status = json.loads(json_path.read_text(encoding="utf-8"))
+        assert status["completed_cells"] == status["planned_cells"] == 4
+        assert status["claims"] == []
+
+    def test_status_needs_an_existing_store(self, tmp_path, capsys):
+        code = main(["status", "--out", str(tmp_path / "nowhere")])
         assert code == 2
         assert "not a sweep results store" in capsys.readouterr().err
 

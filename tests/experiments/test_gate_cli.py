@@ -96,6 +96,62 @@ class TestGateCommand:
         assert "Fig. 7" in out
 
 
+class TestGateUnion:
+    """``gate --union``: assert over several per-worker stores as one sweep."""
+
+    @pytest.fixture()
+    def halves(self, store_dir, tmp_path):
+        source = ResultsStore(store_dir)
+        split = []
+        for name in ("worker-a", "worker-b"):
+            half = ResultsStore(tmp_path / name)
+            half.adopt_meta(source.require_meta())
+            split.append(half)
+        for index, job in enumerate(source.planned_jobs()):
+            split[index % 2].put(job, source.get(job))
+        return split
+
+    def test_union_of_partial_stores_passes_strict(self, halves, capsys):
+        first, second = halves
+        # Alone, each half caps the invariants at inconclusive...
+        assert main(["gate", "--out", str(first.root), "--strict"]) == 1
+        capsys.readouterr()
+        # ...their union is the complete sweep and passes outright, with no
+        # merged directory materialised.
+        code = main(
+            [
+                "gate",
+                "--out",
+                str(first.root),
+                "--union",
+                str(second.root),
+                "--strict",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 failed" in out
+        assert not (first.root.parent / "merged").exists()
+
+    def test_union_of_a_different_sweep_is_rejected(
+        self, store_dir, tmp_path, capsys
+    ):
+        foreign = tmp_path / "foreign"
+        assert (
+            main(
+                ["run", "--scale", "smoke", "--trials", "2", "--jobs", "2",
+                 "--out", str(foreign), "--quiet", "--protocols", "SRP"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            ["gate", "--out", str(store_dir), "--union", str(foreign)]
+        )
+        assert code == 2
+        assert "different sweeps" in capsys.readouterr().err
+
+
 class TestMergeCommand:
     def test_split_store_reassembles(self, store_dir, tmp_path, capsys):
         source = ResultsStore(store_dir)

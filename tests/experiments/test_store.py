@@ -166,6 +166,95 @@ class TestReconstruction:
         assert not (tmp_path / "empty").exists()  # reads never mkdir
 
 
+class TestTornCells:
+    """Truncated/invalid cell files count as missing (and are reported)."""
+
+    def _tear(self, store, job, content='{"version": 1, "job": {}, "sum'):
+        path = store.jobs_dir / f"{job.content_key}.json"
+        path.write_text(content, encoding="utf-8")
+        return path
+
+    def test_torn_cell_reads_as_missing(self, tmp_path, scenario, jobs, full_outcomes):
+        from repro.experiments import TornCellWarning
+
+        store = make_store(tmp_path, scenario)
+        job = jobs[0]
+        store.put(job, full_outcomes[job])
+        self._tear(store, job)
+        with pytest.warns(TornCellWarning, match="torn"):
+            assert store.get(job) is None
+        assert store.torn_keys() == [job.content_key]
+        assert job in store.missing(jobs)
+
+    def test_torn_cell_with_missing_summary_field(
+        self, tmp_path, scenario, jobs, full_outcomes
+    ):
+        store = make_store(tmp_path, scenario)
+        job = jobs[0]
+        store.put(job, full_outcomes[job])
+        self._tear(store, job, '{"version": 1, "job": {}}')
+        with pytest.warns(Warning, match="torn"):
+            assert store.get(job) is None
+
+    def test_load_results_skips_torn_cells(
+        self, tmp_path, scenario, jobs, full_outcomes
+    ):
+        store = make_store(tmp_path, scenario)
+        for job in jobs:
+            store.put(job, full_outcomes[job])
+        self._tear(store, jobs[0])
+        with pytest.warns(Warning, match="torn"):
+            results = store.load_results()
+        assert len(results.summaries) == len(jobs) - 1
+        # The torn cell is only reported once; it still counts as missing.
+        with pytest.raises(ValueError, match="incomplete"):
+            store.load_results(require_complete=True)
+
+    def test_rewriting_a_torn_cell_heals_it(
+        self, tmp_path, scenario, jobs, full_outcomes
+    ):
+        store = make_store(tmp_path, scenario)
+        job = jobs[0]
+        store.put(job, full_outcomes[job])
+        self._tear(store, job)
+        with pytest.warns(Warning, match="torn"):
+            assert store.get(job) is None
+        store.put(job, full_outcomes[job])  # the re-run overwrites atomically
+        assert store.get(job) == full_outcomes[job]
+        assert store.torn_keys() == []
+
+
+class TestKeyCache:
+    """completed_keys()/missing() scan the cell directory once per instance."""
+
+    def test_put_keeps_the_cache_current(self, tmp_path, scenario, jobs, full_outcomes):
+        store = make_store(tmp_path, scenario)
+        assert store.completed_keys() == []  # primes the cache
+        store.put(jobs[0], full_outcomes[jobs[0]])
+        assert store.completed_keys() == [jobs[0].content_key]
+        assert store.missing(jobs) == list(jobs[1:])
+
+    def test_foreign_writes_need_invalidation(
+        self, tmp_path, scenario, jobs, full_outcomes
+    ):
+        ours = make_store(tmp_path, scenario)
+        theirs = ResultsStore(ours.root)  # another process, in effect
+        assert ours.completed_keys() == []
+        theirs.put(jobs[0], full_outcomes[jobs[0]])
+        assert ours.completed_keys() == []  # cached: foreign write invisible
+        ours.invalidate_key_cache()
+        assert ours.completed_keys() == [jobs[0].content_key]
+
+    def test_get_repopulates_after_invalidation(
+        self, tmp_path, scenario, jobs, full_outcomes
+    ):
+        store = make_store(tmp_path, scenario)
+        store.put(jobs[0], full_outcomes[jobs[0]])
+        store.invalidate_key_cache()
+        assert store.get(jobs[0]) == full_outcomes[jobs[0]]
+        assert jobs[0] in store
+
+
 class TestMetaGuards:
     def test_ensure_meta_accepts_identical_parameters(self, tmp_path, scenario):
         store = make_store(tmp_path, scenario)
@@ -177,6 +266,39 @@ class TestMetaGuards:
             trials=TRIALS,
         )
         assert store.require_meta()["scale"] == "tiny"  # original kept
+
+    def test_racing_init_with_different_parameters_is_caught(
+        self, tmp_path, scenario
+    ):
+        # Two workers initialising one fresh shared store with *different*
+        # sweeps both see an empty directory; the post-write re-read must
+        # hand the race's loser the same error a late arrival would get.
+        import types
+
+        store = ResultsStore(tmp_path / "fresh")
+        rival = ResultsStore(store.root)
+        original = ResultsStore.write_meta
+
+        def write_then_lose_the_race(self, **kwargs):
+            original(self, **kwargs)
+            original(
+                rival,
+                scale="rival",
+                scenario=scenario,
+                protocols=["SRP"],
+                pause_times=(0.0,),
+                trials=9,
+            )
+
+        store.write_meta = types.MethodType(write_then_lose_the_race, store)
+        with pytest.raises(ValueError, match="different sweep"):
+            store.ensure_meta(
+                scale="tiny",
+                scenario=scenario,
+                protocols=PROTOCOLS,
+                pause_times=PAUSE_TIMES,
+                trials=TRIALS,
+            )
 
     def test_ensure_meta_rejects_a_different_sweep(self, tmp_path, scenario):
         store = make_store(tmp_path, scenario)
