@@ -10,6 +10,11 @@ Since PR 3 the results are also *asserted*: :mod:`~repro.experiments.gate`
 holds the science gate — the paper's qualitative claims as declarative
 invariants over a completed store — and :mod:`~repro.experiments.trajectory`
 merges stores from successive runs and tracks per-figure metrics across them.
+
+Since PR 5 the *performance* of a trial is first-class too:
+:mod:`~repro.experiments.profile` runs one instrumented trial and breaks its
+cost down by architectural layer, so optimization work starts from data (and
+``BENCH_5.json`` at the repo root records the wall-clock trajectory).
 """
 
 from .distributed import (
@@ -37,6 +42,7 @@ from .gate import (
     paper_invariants,
 )
 from .jobs import TrialJob, plan_sweep, sweep_shape
+from .profile import LayerCost, TrialProfile, profile_trial
 from .paper import (
     EXPERIMENTS,
     PAPER_PROTOCOLS,
@@ -77,6 +83,7 @@ __all__ = [
     "GateReport",
     "Invariant",
     "InvariantOutcome",
+    "LayerCost",
     "MergeReport",
     "OrderingInvariant",
     "ProcessPoolBackend",
@@ -87,6 +94,7 @@ __all__ = [
     "TornCellWarning",
     "TrajectoryPoint",
     "TrialJob",
+    "TrialProfile",
     "collect_sweep",
     "default_worker_id",
     "evaluate_gate",
@@ -97,6 +105,7 @@ __all__ = [
     "metric_trajectories",
     "paper_invariants",
     "plan_sweep",
+    "profile_trial",
     "resolve_scale",
     "run_evaluation",
     "run_job",

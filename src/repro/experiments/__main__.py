@@ -24,6 +24,11 @@ persistent on-disk store:
 ``report``
     Render Table I and Figures 3-7 from the cells on disk, without running
     any simulation.
+``profile``
+    Run one instrumented trial and print (optionally dump as JSON) its
+    per-layer CPU/allocation breakdown — the data every perf change should
+    start from.  ``--fast-paths off`` profiles the reference slow path for
+    before/after tables.
 ``gate``
     Evaluate the registered paper-derived invariants (the *science gate*)
     against the store and exit nonzero, naming the violated invariants, when
@@ -37,6 +42,7 @@ persistent on-disk store:
 
 Examples::
 
+    python -m repro.experiments profile --scale smoke --protocol OLSR --json p.json
     python -m repro.experiments run --scale smoke --jobs 2 --out sweep-smoke
     python -m repro.experiments run --scale paper --jobs 8 --out sweep-paper
     python -m repro.experiments resume --out sweep-paper --jobs 8
@@ -267,6 +273,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             args.worker_id or default_worker_id(),
             lease_ttl=args.lease_ttl,
             poll_interval=args.poll_interval,
+            jobs=args.jobs,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -422,6 +429,39 @@ def _cmd_gate(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from ..sim.tuning import FastPaths
+    from .profile import profile_trial
+
+    scale = resolve_scale(args.scale)
+    pause = args.pause if args.pause is not None else scale.pause_times[0]
+    scenario = scale.scenario.with_pause_time(pause)
+    fast_paths = FastPaths.none() if args.fast_paths == "off" else FastPaths()
+    protocols = args.protocol or ["OLSR"]
+    profiles = []
+    for protocol in protocols:
+        profile = profile_trial(
+            scenario,
+            protocol,
+            scale_name=scale.name,
+            fast_paths=fast_paths,
+            track_allocations=args.alloc,
+        )
+        profiles.append(profile)
+        print(profile.to_text())
+        print()
+    if args.json is not None:
+        document = {
+            "version": 1,
+            "profiles": [profile.to_dict() for profile in profiles],
+        }
+        Path(args.json).write_text(
+            json.dumps(document, indent=1), encoding="utf-8"
+        )
+        print(f"(structured profile written to {args.json})")
+    return 0
+
+
 def _cmd_merge(args: argparse.Namespace) -> int:
     destination = ResultsStore(args.out)
     sources = [ResultsStore(path) for path in args.stores]
@@ -550,6 +590,15 @@ def build_parser() -> argparse.ArgumentParser:
         "leased out (default: 1)",
     )
     worker.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="local worker processes: claimed cells are fanned over a "
+        "process pool so one host contributes N cores with a single "
+        "lease-polling worker (default: 1, serial)",
+    )
+    worker.add_argument(
         "--scale",
         choices=tuple(SCALE_NAMES),
         default=None,
@@ -649,6 +698,50 @@ def build_parser() -> argparse.ArgumentParser:
         "and exit (no store needed)",
     )
     gate.set_defaults(func=_cmd_gate)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one instrumented trial and print its per-layer "
+        "CPU/allocation breakdown",
+    )
+    profile.add_argument(
+        "--scale",
+        choices=tuple(SCALE_NAMES),
+        default="smoke",
+        help="scenario size to profile (default: smoke)",
+    )
+    profile.add_argument(
+        "--protocol",
+        nargs="+",
+        metavar="PROTO",
+        default=None,
+        help="protocol(s) to profile (default: OLSR, the costliest trial)",
+    )
+    profile.add_argument(
+        "--pause",
+        type=float,
+        default=None,
+        metavar="S",
+        help="mobility pause time (default: the scale's first pause time)",
+    )
+    profile.add_argument(
+        "--fast-paths",
+        choices=("on", "off"),
+        default="on",
+        help="profile the optimized (on) or reference (off) hot paths",
+    )
+    profile.add_argument(
+        "--alloc",
+        action="store_true",
+        help="also sample allocations per layer via tracemalloc (slower)",
+    )
+    profile.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the structured breakdown to PATH",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     merge = sub.add_parser(
         "merge",

@@ -36,7 +36,8 @@ import re
 import socket
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.stats import TrialSummary
 from .executor import CompletionReporter, SweepBackend, run_job
@@ -103,6 +104,7 @@ class DistributedBackend(SweepBackend):
         lease_ttl: float = DEFAULT_LEASE_TTL,
         poll_interval: float = 1.0,
         heartbeat_interval: Optional[float] = None,
+        jobs: int = 1,
         clock: Callable[[], float] = time.time,
         sleep: Callable[[float], None] = time.sleep,
         run: Callable[[TrialJob], TrialSummary] = run_job,
@@ -113,9 +115,17 @@ class DistributedBackend(SweepBackend):
             # sleep(0) would turn the wait-for-others loop into a busy spin
             # hammering the shared directory.
             raise ValueError(f"poll_interval must be positive, got {poll_interval}")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.worker_id = validate_worker_id(worker_id or default_worker_id())
         self.lease_ttl = lease_ttl
         self.poll_interval = poll_interval
+        #: Hybrid worker pool: with jobs > 1 this worker fans the cells it
+        #: claims over a local ProcessPoolExecutor, so one beefy host
+        #: contributes N cores to the fleet without N lease-polling
+        #: processes (the claim/heartbeat/release bookkeeping stays in this
+        #: process; ``run`` must then be picklable).
+        self.jobs = jobs
         self.heartbeat_interval = heartbeat_interval or max(lease_ttl / 4.0, 0.05)
         self.clock = clock
         self.sleep = sleep
@@ -162,12 +172,10 @@ class DistributedBackend(SweepBackend):
                 return False
         return store.read_claim(key) == claim
 
-    def _run_leased(
-        self, store: ResultsStore, job: TrialJob
-    ) -> TrialSummary:
-        """Run the claimed job under a heartbeat so the lease stays live for
-        however long the simulation takes."""
-        key = job.content_key
+    def _start_heartbeat(
+        self, store: ResultsStore, key: str
+    ) -> Tuple[threading.Event, threading.Thread]:
+        """Keep ``key``'s lease live until the returned event is set."""
         stop = threading.Event()
 
         def beat() -> None:
@@ -179,11 +187,40 @@ class DistributedBackend(SweepBackend):
             target=beat, name=f"heartbeat-{self.worker_id}-{key}", daemon=True
         )
         heartbeat.start()
+        return stop, heartbeat
+
+    def _run_leased(
+        self, store: ResultsStore, job: TrialJob
+    ) -> TrialSummary:
+        """Run the claimed job under a heartbeat so the lease stays live for
+        however long the simulation takes."""
+        stop, heartbeat = self._start_heartbeat(store, job.content_key)
         try:
             return self.run(job)
         finally:
             stop.set()
             heartbeat.join()
+
+    def _adopt_or_acquire(self, store, job):
+        """One cell's claim step, shared by the serial and pooled loops.
+
+        Returns ``("cached", summary)`` when the cell is already on disk
+        (adopted, no lease held), ``("acquired", None)`` when this worker
+        now holds the cell's lease and must run it (the
+        completed-in-the-window case was re-checked *under* the lease —
+        safe because every runner publishes its cell before releasing),
+        or ``None`` when the cell is leased to someone else.
+        """
+        summary = store.get(job)
+        if summary is not None:
+            return ("cached", summary)
+        if not self._acquire(store, job):
+            return None
+        summary = store.get(job)
+        if summary is not None:
+            store.release_claim(job.content_key, self.worker_id)
+            return ("cached", summary)
+        return ("acquired", None)
 
     def reap_abandoned(self, store: ResultsStore) -> int:
         """Housekeeping: remove every lease whose owner's heartbeat lapsed.
@@ -219,6 +256,8 @@ class DistributedBackend(SweepBackend):
                 "DistributedBackend coordinates through the store; "
                 "execute_jobs(..., store=...) is required"
             )
+        if self.jobs > 1:
+            return self._run_pending_pooled(jobs, store=store, report=report)
         outcomes: Dict[TrialJob, TrialSummary] = {}
         remaining: Dict[str, TrialJob] = {job.content_key: job for job in jobs}
         # Each worker scans from a different starting point so concurrent
@@ -240,35 +279,23 @@ class DistributedBackend(SweepBackend):
                 job = remaining.get(key)
                 if job is None:
                     continue
-                summary = store.get(job)
-                if summary is not None:
-                    # Another worker (or a previous life of this one)
-                    # finished the cell; adopt it.
-                    outcomes[job] = summary
-                    del remaining[key]
-                    report(job, cached=True, worker=self.worker_id)
-                    progressed = True
+                takeover = self._adopt_or_acquire(store, job)
+                if takeover is None:
                     continue
-                if not self._acquire(store, job):
-                    continue
-                fresh = False
-                try:
-                    # Re-check under the lease: the cell may have landed
-                    # between our scan and our claim (its runner releases
-                    # only after the atomic put, so holding the lease means
-                    # the cell's presence is settled).  Without this, that
-                    # window re-runs a completed cell.
-                    summary = store.get(job)
-                    if summary is None:
+                state, summary = takeover
+                if state == "acquired":
+                    try:
                         summary = self._run_leased(store, job)
+                        # Publish before releasing: other workers re-check
+                        # under a freshly-acquired lease and trust that a
+                        # released cell is settled on disk.
                         store.put(job, summary)
-                        self.ran_keys.append(key)
-                        fresh = True
-                finally:
-                    store.release_claim(key, self.worker_id)
+                    finally:
+                        store.release_claim(key, self.worker_id)
+                    self.ran_keys.append(key)
                 outcomes[job] = summary
                 del remaining[key]
-                report(job, cached=not fresh, worker=self.worker_id)
+                report(job, cached=state == "cached", worker=self.worker_id)
                 progressed = True
             if len(self.ran_keys) > ran_before:
                 # Provenance for `status`, refreshed once per steal cycle —
@@ -281,6 +308,113 @@ class DistributedBackend(SweepBackend):
                 # Everything left is leased to someone alive; wait for cells
                 # to land (or for a lease to go stale) and rescan.
                 self.sleep(self.poll_interval)
+        return outcomes
+
+    def _run_pending_pooled(
+        self,
+        jobs: Sequence[TrialJob],
+        *,
+        store: ResultsStore,
+        report: CompletionReporter,
+    ) -> Dict[TrialJob, TrialSummary]:
+        """The steal loop with claimed cells fanned over a local process pool.
+
+        Same protocol as the serial loop — claim via lease, heartbeat while
+        running, write-through, release — except that up to ``self.jobs``
+        claimed cells run concurrently in worker processes while this
+        process keeps all the lease bookkeeping (one heartbeat thread per
+        in-flight cell).  Equivalence is inherited: cells remain pure
+        functions of their jobs, so the store converges byte-identical to a
+        serial worker's.
+        """
+        outcomes: Dict[TrialJob, TrialSummary] = {}
+        remaining: Dict[str, TrialJob] = {job.content_key: job for job in jobs}
+        order = list(remaining)
+        if order:
+            offset = hash(self.worker_id) % len(order)
+            order = order[offset:] + order[:offset]
+        #: future -> (key, job, heartbeat stop event, heartbeat thread)
+        in_flight: Dict[
+            Any, Tuple[str, TrialJob, threading.Event, threading.Thread]
+        ] = {}
+
+        def settle(future: Any) -> None:
+            key, job, stop, heartbeat = in_flight.pop(future)
+            stop.set()
+            heartbeat.join()
+            try:
+                summary = future.result()
+                # Publish before releasing, exactly like the serial loop:
+                # other workers re-check under a freshly-acquired lease and
+                # trust that a released cell is settled on disk.
+                store.put(job, summary)
+            finally:
+                store.release_claim(key, self.worker_id)
+            self.ran_keys.append(key)
+            outcomes[job] = summary
+            remaining.pop(key, None)
+            report(job, cached=False, worker=self.worker_id)
+
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            try:
+                while remaining or in_flight:
+                    progressed = False
+                    ran_before = len(self.ran_keys)
+                    store.invalidate_key_cache()
+                    self.reap_abandoned(store)
+                    busy_keys = {entry[0] for entry in in_flight.values()}
+                    for key in order:
+                        job = remaining.get(key)
+                        if job is None or key in busy_keys:
+                            continue
+                        if len(in_flight) >= self.jobs:
+                            # Pool full: only adopt cells already on disk.
+                            summary = store.get(job)
+                            if summary is None:
+                                continue
+                            takeover = ("cached", summary)
+                        else:
+                            takeover = self._adopt_or_acquire(store, job)
+                            if takeover is None:
+                                continue
+                        state, summary = takeover
+                        if state == "acquired":
+                            stop, heartbeat = self._start_heartbeat(store, key)
+                            future = pool.submit(self.run, job)
+                            in_flight[future] = (key, job, stop, heartbeat)
+                            busy_keys.add(key)
+                            progressed = True
+                            continue
+                        outcomes[job] = summary
+                        del remaining[key]
+                        report(job, cached=True, worker=self.worker_id)
+                        progressed = True
+                    if in_flight:
+                        done, _ = wait(
+                            set(in_flight),
+                            timeout=self.poll_interval,
+                            return_when=FIRST_COMPLETED,
+                        )
+                        for future in done:
+                            settle(future)
+                            progressed = True
+                    if len(self.ran_keys) > ran_before:
+                        store.record_worker_cells(
+                            self.worker_id, self.ran_keys, now=self.clock()
+                        )
+                    if remaining and not in_flight and not progressed:
+                        # Everything left is leased to other live workers.
+                        self.sleep(self.poll_interval)
+            finally:
+                # A failed cell must not leave its sibling leases dangling
+                # until the TTL: stop heartbeats and release everything this
+                # worker still holds.
+                for future, (key, _job, stop, heartbeat) in list(in_flight.items()):
+                    stop.set()
+                    heartbeat.join()
+                    future.cancel()
+                    store.release_claim(key, self.worker_id)
+                    del in_flight[future]
         return outcomes
 
 

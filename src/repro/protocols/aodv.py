@@ -22,7 +22,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from ..sim.packet import Packet
 from .base import PacketBuffer, ProtocolConfig, RoutingProtocol
-from .common import CONTROL_SIZES, DiscoveryController
+from .common import CONTROL_SIZES, DiscoveryController, PeriodicTimer
 
 __all__ = ["AodvConfig", "AodvProtocol", "AodvRreq", "AodvRrep", "AodvRerr"]
 
@@ -120,17 +120,15 @@ class AodvProtocol(RoutingProtocol):
         )
 
     def start(self) -> None:
-        self._schedule_maintenance()
+        PeriodicTimer(
+            self.simulator, self.config.maintenance_interval, self._maintenance
+        ).start()
 
-    def _schedule_maintenance(self) -> None:
-        def tick() -> None:
-            now = self.simulator.now
-            for entry in self.routes.values():
-                if entry.valid and entry.expires_at <= now:
-                    entry.valid = False
-            self._schedule_maintenance()
-
-        self.simulator.schedule_in(self.config.maintenance_interval, tick)
+    def _maintenance(self, now: float) -> None:
+        """Aggregated per-entry route timeouts: one scan per interval."""
+        for entry in self.routes.values():
+            if entry.valid and entry.expires_at <= now:
+                entry.valid = False
 
     # -- table helpers ------------------------------------------------------------
 

@@ -27,6 +27,7 @@ __all__ = [
     "RreqCache",
     "DiscoveryController",
     "DiscoveryState",
+    "PeriodicTimer",
     "CONTROL_SIZES",
 ]
 
@@ -41,6 +42,39 @@ CONTROL_SIZES = {
     "hello": 40,
     "tc": 60,
 }
+
+
+class PeriodicTimer:
+    """One repeating simulator event driving a per-node maintenance scan.
+
+    Every protocol in the repository aggregates its per-entry timeouts
+    (route lifetimes, RREQ-cache ages, discovery retries that expired) into
+    one periodic tick per node instead of one simulator event per entry —
+    the timer-wheel idea at its coarsest.  This class is that tick: it
+    calls ``callback(now)`` every ``interval`` seconds, rescheduling itself
+    *after* the callback exactly as the protocols' hand-rolled maintenance
+    loops did (so event sequence numbers, and with them same-instant
+    tie-breaking, are unchanged).
+
+    ``start(first_delay=...)`` supports the desynchronised first firings
+    the periodic protocols use (OLSR's per-node hello/TC offsets).
+    """
+
+    __slots__ = ("_simulator", "_interval", "_callback")
+
+    def __init__(self, simulator, interval: float, callback) -> None:
+        self._simulator = simulator
+        self._interval = interval
+        self._callback = callback
+
+    def start(self, first_delay: Optional[float] = None) -> None:
+        """Schedule the first tick (default: one full interval from now)."""
+        delay = self._interval if first_delay is None else first_delay
+        self._simulator.schedule_in(delay, self._tick)
+
+    def _tick(self) -> None:
+        self._callback(self._simulator.now)
+        self._simulator.schedule_in(self._interval, self._tick)
 
 
 class ComputationState(enum.Enum):
@@ -117,14 +151,22 @@ class RreqCache:
         return entry
 
     def expire(self, now: float) -> None:
-        """Drop entries older than the cache lifetime (DELETE_PERIOD)."""
-        stale = [
-            key
-            for key, entry in self._entries.items()
-            if now - entry.created_at > self._max_age
-        ]
+        """Drop entries older than the cache lifetime (DELETE_PERIOD).
+
+        Entries are inserted with ``created_at = now`` and never re-keyed,
+        so dict insertion order is creation order and the stale entries are
+        exactly a prefix: the scan stops at the first live entry instead of
+        walking the whole table once per maintenance tick per node.
+        """
+        entries = self._entries
+        stale = []
+        max_age = self._max_age
+        for key, entry in entries.items():
+            if now - entry.created_at <= max_age:
+                break
+            stale.append(key)
         for key in stale:
-            del self._entries[key]
+            del entries[key]
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -23,11 +23,13 @@ from typing import Dict, Hashable, Optional, Set, Tuple
 
 from ..sim.packet import Packet
 from .base import ProtocolConfig, RoutingProtocol
-from .common import CONTROL_SIZES
+from .common import CONTROL_SIZES, PeriodicTimer
 
 __all__ = ["OlsrConfig", "OlsrProtocol", "OlsrHello", "OlsrTc"]
 
 NodeId = Hashable
+
+_NEVER = float("inf")
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,13 +52,26 @@ class OlsrTc:
 
 @dataclass(frozen=True, slots=True)
 class OlsrConfig(ProtocolConfig):
-    """OLSR intervals and holding times (RFC 3626 defaults)."""
+    """OLSR intervals and holding times (RFC 3626 defaults).
+
+    ``incremental_routes`` (default on) makes the periodic shortest-path
+    recomputation run only when the inputs could have changed: the tick
+    skips the BFS while no neighbour or topology entry was added, revived
+    or replaced with a different adjacency set (dirty flag) and no entry
+    that fed the last computation can have expired yet (validity horizon).
+    Exact: a skipped recomputation would have rebuilt the identical table,
+    so the routing behaviour — and the whole trial — is bit-identical
+    either way.  Route recomputation was the dominant control-plane cost of
+    an OLSR trial (every node re-ran shortest paths every second of
+    simulated time, changed or not).
+    """
 
     hello_interval: float = 2.0
     tc_interval: float = 5.0
     neighbor_hold_time: float = 6.0
     topology_hold_time: float = 15.0
     route_recompute_interval: float = 1.0
+    incremental_routes: bool = True
 
 
 class OlsrProtocol(RoutingProtocol):
@@ -75,30 +90,42 @@ class OlsrProtocol(RoutingProtocol):
         self.tc_sequence_number = 0
         self.seen_tcs: Set[Tuple[NodeId, int]] = set()
         self.data_drops = 0
+        # Incremental-recompute bookkeeping: the table must be rebuilt when
+        # something was added/revived/replaced (dirty) or once an entry that
+        # fed the last rebuild actually expires.  `_routes_valid_until` is
+        # the earliest such expiry *as of the last rebuild* — entries
+        # refreshed since then push the true horizon later, which the route
+        # tick revalidates with a cheap expiry scan before paying for a
+        # shortest-path run.
+        self._routes_dirty = True
+        self._routes_valid_until = -_NEVER
+        self._routes_computed_at = -_NEVER
 
     # -- lifecycle ------------------------------------------------------------------
 
     def start(self) -> None:
         # Desynchronise periodic emissions across nodes with a per-node offset.
         offset = (hash(self.node_id) % 1000) / 1000.0
-        self.simulator.schedule_in(
-            offset * self.config.hello_interval, self._hello_tick
+        config = self.config
+        PeriodicTimer(
+            self.simulator, config.hello_interval, self._emit_hello
+        ).start(first_delay=offset * config.hello_interval)
+        PeriodicTimer(self.simulator, config.tc_interval, self._emit_tc).start(
+            first_delay=offset * config.tc_interval
         )
-        self.simulator.schedule_in(offset * self.config.tc_interval, self._tc_tick)
-        self.simulator.schedule_in(
-            self.config.route_recompute_interval, self._route_tick
-        )
+        PeriodicTimer(
+            self.simulator, config.route_recompute_interval, self._route_maintenance
+        ).start()
 
-    def _hello_tick(self) -> None:
+    def _emit_hello(self, now: float) -> None:
         hello = OlsrHello(
             origin=self.node_id, neighbors=tuple(self._live_neighbors())
         )
         self.node.send_broadcast(
             self.make_control_packet(self.node_id, hello, CONTROL_SIZES["hello"])
         )
-        self.simulator.schedule_in(self.config.hello_interval, self._hello_tick)
 
-    def _tc_tick(self) -> None:
+    def _emit_tc(self, now: float) -> None:
         self.tc_sequence_number += 1
         tc = OlsrTc(
             origin=self.node_id,
@@ -109,13 +136,35 @@ class OlsrProtocol(RoutingProtocol):
         self.node.send_broadcast(
             self.make_control_packet(self.node_id, tc, CONTROL_SIZES["tc"])
         )
-        self.simulator.schedule_in(self.config.tc_interval, self._tc_tick)
 
-    def _route_tick(self) -> None:
-        self._recompute_routes()
-        self.simulator.schedule_in(
-            self.config.route_recompute_interval, self._route_tick
-        )
+    def _route_maintenance(self, now: float) -> None:
+        if not self.config.incremental_routes or self._routes_dirty:
+            self._recompute_routes()
+            return
+        if now < self._routes_valid_until:
+            return
+        # The recorded horizon passed, but entries refreshed since the last
+        # rebuild may have pushed the true horizon later.  An entry only
+        # invalidates the table if it *died* since the rebuild — expiry
+        # inside (computed_at, now].  Scanning the expiries is an order of
+        # magnitude cheaper than the shortest-path rebuild it avoids.
+        computed_at = self._routes_computed_at
+        horizon = _NEVER
+        for expiry in self.neighbors.values():
+            if expiry <= now:
+                if expiry > computed_at:
+                    self._recompute_routes()
+                    return
+            elif expiry < horizon:
+                horizon = expiry
+        for _, expiry, _ in self.topology.values():
+            if expiry <= now:
+                if expiry > computed_at:
+                    self._recompute_routes()
+                    return
+            elif expiry < horizon:
+                horizon = expiry
+        self._routes_valid_until = horizon
 
     # -- neighbour / topology state ----------------------------------------------------
 
@@ -134,32 +183,63 @@ class OlsrProtocol(RoutingProtocol):
     # -- routing -----------------------------------------------------------------------
 
     def _recompute_routes(self) -> None:
-        """Breadth-first shortest paths over the learned topology."""
-        adjacency: Dict[NodeId, Set[NodeId]] = {self.node_id: self._live_neighbors()}
-        for origin, neighbors in self._live_topology().items():
-            adjacency.setdefault(origin, set()).update(neighbors)
+        """Breadth-first shortest paths over the learned topology.
+
+        ``_live_neighbors`` is evaluated once and reused: a comprehension
+        over the same dict state yields the identical set (and identical
+        iteration order) every time, so sharing one evaluation across the
+        adjacency seed, the reverse-edge pass and the initial frontier
+        changes nothing but the cost.
+        """
+        now = self.simulator.now
+        live_neighbors = self._live_neighbors()
+        adjacency: Dict[NodeId, Set[NodeId]] = {self.node_id: set(live_neighbors)}
+        adjacency_setdefault = adjacency.setdefault
+        for origin, (neighbors, expiry, _) in self.topology.items():
+            if expiry <= now:
+                continue
+            adjacency_setdefault(origin, set()).update(neighbors)
             for neighbor in neighbors:
-                adjacency.setdefault(neighbor, set()).add(origin)
-        for neighbor in self._live_neighbors():
-            adjacency.setdefault(neighbor, set()).add(self.node_id)
+                adjacency_setdefault(neighbor, set()).add(origin)
+        for neighbor in live_neighbors:
+            adjacency_setdefault(neighbor, set()).add(self.node_id)
 
         table: Dict[NodeId, NodeId] = {}
         # First hop for each neighbour is the neighbour itself.
-        frontier = list(self._live_neighbors())
+        frontier = list(live_neighbors)
         for neighbor in frontier:
             table[neighbor] = neighbor
-        visited = set(frontier) | {self.node_id}
+        visited = set(frontier)
+        visited.add(self.node_id)
+        adjacency_get = adjacency.get
+        visited_add = visited.add
         while frontier:
             next_frontier = []
+            append = next_frontier.append
             for node in frontier:
-                for neighbor in adjacency.get(node, ()):
+                first_hop = table[node]
+                for neighbor in adjacency_get(node, ()):
                     if neighbor in visited:
                         continue
-                    visited.add(neighbor)
-                    table[neighbor] = table[node]
-                    next_frontier.append(neighbor)
+                    visited_add(neighbor)
+                    table[neighbor] = first_hop
+                    append(neighbor)
             frontier = next_frontier
         self.routing_table = table
+        if self.config.incremental_routes:
+            # The table stays exact until the first live entry can expire —
+            # or until a dirty-marking update lands, whichever comes first.
+            now = self.simulator.now
+            valid_until = _NEVER
+            for expiry in self.neighbors.values():
+                if now < expiry < valid_until:
+                    valid_until = expiry
+            for _, expiry, _ in self.topology.values():
+                if now < expiry < valid_until:
+                    valid_until = expiry
+            self._routes_valid_until = valid_until
+            self._routes_computed_at = now
+            self._routes_dirty = False
 
     def next_hop(self, destination: NodeId) -> Optional[NodeId]:
         """The current first hop toward ``destination``, if reachable."""
@@ -202,9 +282,15 @@ class OlsrProtocol(RoutingProtocol):
         self.node.send_unicast(packet.copy_for_forwarding(), next_hop)
 
     def _handle_hello(self, hello: OlsrHello) -> None:
-        self.neighbors[hello.origin] = (
-            self.simulator.now + self.config.neighbor_hold_time
-        )
+        now = self.simulator.now
+        previous = self.neighbors.get(hello.origin)
+        if previous is None or previous <= now:
+            # An unknown or expired neighbour became live: the next route
+            # tick must rebuild.  A refresh of an already-live neighbour
+            # only pushes its expiry later, which cannot invalidate the
+            # table before the recorded validity horizon.
+            self._routes_dirty = True
+        self.neighbors[hello.origin] = now + self.config.neighbor_hold_time
 
     def _handle_tc(self, tc: OlsrTc, packet: Packet) -> None:
         key = (tc.origin, tc.sequence_number)
@@ -213,9 +299,21 @@ class OlsrProtocol(RoutingProtocol):
         self.seen_tcs.add(key)
         existing = self.topology.get(tc.origin)
         if existing is None or tc.sequence_number >= existing[2]:
+            now = self.simulator.now
+            advertised = set(tc.advertised_neighbors)
+            changed = (
+                existing is None
+                or existing[1] <= now
+                or advertised != existing[0]
+            )
+            if changed:
+                # New origin, revived origin, or a different adjacency set:
+                # the learned graph changed.  A same-set refresh of a live
+                # entry only extends its expiry.
+                self._routes_dirty = True
             self.topology[tc.origin] = (
-                set(tc.advertised_neighbors),
-                self.simulator.now + self.config.topology_hold_time,
+                advertised,
+                now + self.config.topology_hold_time,
                 tc.sequence_number,
             )
         # Flood on (no MPR optimisation).
@@ -231,6 +329,7 @@ class OlsrProtocol(RoutingProtocol):
 
     def handle_link_failure(self, packet: Packet, next_hop: NodeId) -> None:
         self.neighbors.pop(next_hop, None)
+        self._routes_dirty = True
         self._recompute_routes()
         if packet.is_data:
             alternative = self.next_hop(packet.destination)

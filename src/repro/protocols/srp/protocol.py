@@ -36,7 +36,13 @@ from ...core.neworder import new_order, new_order_for_rreq_advertisement
 from ...core.ordering import UNASSIGNED, Ordering, ordering_min
 from ...sim.packet import Packet
 from ..base import PacketBuffer, ProtocolConfig, RoutingProtocol
-from ..common import CONTROL_SIZES, ComputationState, DiscoveryController, RreqCache
+from ..common import (
+    CONTROL_SIZES,
+    ComputationState,
+    DiscoveryController,
+    PeriodicTimer,
+    RreqCache,
+)
 from .messages import DELETE_PERIOD, SrpRerr, SrpRrep, SrpRreq
 from .table import SrpRoutingTable
 
@@ -108,18 +114,16 @@ class SrpProtocol(RoutingProtocol):
             Ordering(self.own_sequence_number, ProperFraction.zero()),
             0.0,
         )
-        self._schedule_maintenance()
+        PeriodicTimer(
+            self.simulator, self.config.maintenance_interval, self._maintenance
+        ).start()
 
-    def _schedule_maintenance(self) -> None:
-        def tick() -> None:
-            now = self.simulator.now
-            newly_invalid = self.table.expire_stale_successors(now)
-            self.rreq_cache.expire(now)
-            if newly_invalid:
-                self._send_rerr(newly_invalid)
-            self._schedule_maintenance()
-
-        self.simulator.schedule_in(self.config.maintenance_interval, tick)
+    def _maintenance(self, now: float) -> None:
+        """Aggregated per-entry timeouts: one scan per interval per node."""
+        newly_invalid = self.table.expire_stale_successors(now)
+        self.rreq_cache.expire(now)
+        if newly_invalid:
+            self._send_rerr(newly_invalid)
 
     # -- own ordering helpers --------------------------------------------------------
 

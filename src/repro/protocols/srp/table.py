@@ -172,17 +172,30 @@ class SrpRoutingTable:
         return dropped
 
     def expire_stale_successors(self, now: float) -> List[NodeId]:
-        """Time out unused successors; returns destinations that became invalid."""
+        """Time out unused successors; returns destinations that became invalid.
+
+        Runs once per maintenance tick per node over every entry, so the
+        common nothing-stale case allocates nothing and skips the
+        ``is_active`` evaluation entirely (deleting nothing cannot change
+        it).
+        """
         newly_invalid = []
         for destination, entry in self._entries.items():
+            successors = entry.successors
+            if not successors:
+                continue
+            stale = None
+            for neighbor, successor in successors.items():
+                if successor.expires_at <= now:
+                    if stale is None:
+                        stale = [neighbor]
+                    else:
+                        stale.append(neighbor)
+            if stale is None:
+                continue
             was_active = entry.is_active
-            stale = [
-                neighbor
-                for neighbor, successor in entry.successors.items()
-                if successor.expires_at <= now
-            ]
             for neighbor in stale:
-                del entry.successors[neighbor]
+                del successors[neighbor]
             if was_active and not entry.is_active:
                 newly_invalid.append(destination)
         return newly_invalid

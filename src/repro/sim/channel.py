@@ -85,9 +85,9 @@ class RadioListener(Protocol):
         """Deliver a successfully received frame."""
 
 
-@dataclass(slots=True)
+@dataclass(slots=True, eq=False)
 class _Transmission:
-    """One frame in flight."""
+    """One frame in flight.  ``eq=False``: compared only by identity."""
 
     frame: Frame
     transmitter: NodeId
@@ -96,9 +96,14 @@ class _Transmission:
     position: "tuple[float, float]"
 
 
-@dataclass(slots=True)
+@dataclass(slots=True, eq=False)
 class _Reception:
-    """One frame arriving at one receiver."""
+    """One frame arriving at one receiver.
+
+    ``eq=False`` so ``list.remove`` in the end-of-air-time completion
+    compares by identity instead of running the generated field-by-field
+    (and packet-payload-deep) ``__eq__`` against every co-active reception.
+    """
 
     frame: Frame
     transmitter: NodeId
@@ -108,7 +113,7 @@ class _Reception:
     collided: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class ChannelStats:
     """Channel-wide counters (collision accounting feeds Fig. 3)."""
 
@@ -128,10 +133,21 @@ class Channel:
         *,
         max_node_speed: float = DEFAULT_MAX_NODE_SPEED,
         use_spatial_index: bool = True,
+        use_reception_memo: bool = True,
+        use_busy_cache: bool = True,
+        use_airtime_memo: bool = True,
+        use_object_pool: bool = True,
+        use_grid_prefilter: bool = True,
     ) -> None:
         self._simulator = simulator
         self._phy = phy
         self._listeners: Dict[NodeId, RadioListener] = {}
+        # Per-listener bound methods, prebound at attach: the reception loop
+        # calls both once per receiver per transmission, and building a
+        # bound method through two attribute walks each time is measurable
+        # at millions of receptions.
+        self._radio_receive: Dict[NodeId, Callable[[Frame, NodeId], None]] = {}
+        self._is_transmitting: Dict[NodeId, Callable[[], bool]] = {}
         # Attach index per node: candidate sets from the grid are re-ordered
         # by it so neighbour lists match the brute-force scan exactly.
         self._attach_order: Dict[NodeId, int] = {}
@@ -142,10 +158,15 @@ class Channel:
         # Position cache, valid only while simulator.now == self._cache_time.
         self._cache_time: float = -1.0
         self._positions: Dict[NodeId, Tuple[float, float]] = {}
-        # Last exactly-computed position per node: (x, y, computed_at).  Range
-        # predicates use it with a drift bound (max_node_speed * age) and fall
-        # back to exact interpolation only when the answer is within the
-        # uncertainty band — see _nodes_in_range_of / is_busy_near.
+        # Last exactly-computed position per node: (x, y, exact_until).  The
+        # third element is the latest time at which the coordinates are
+        # still known to be exact: the computation time for a moving node,
+        # but the pause leg's departure time when the mobility segment says
+        # the node is sitting still — so range predicates see *zero* drift
+        # for paused nodes (the bulk of the paper's high-pause-time trials)
+        # and interpolate only when genuinely uncertain.  Range predicates
+        # clamp a negative age to zero drift; see _nodes_in_range_of /
+        # is_busy_near.
         self._last_exact: Dict[NodeId, Tuple[float, float, float]] = {}
         # Spatial index over a position snapshot taken at _grid_time.
         self._use_spatial_index = use_spatial_index
@@ -154,9 +175,42 @@ class Channel:
         self._grid_time: float = 0.0
         self._grid_dirty = True
         # Rebuild once queries would have to inflate their radius by more
-        # than this; a quarter range keeps candidate sets tight while letting
-        # a 20 m/s node age a snapshot for ~3 simulated seconds.
-        self._stale_budget = 0.25 * phy.reception_range
+        # than this.  A quarter range lets a 20 m/s node age a snapshot for
+        # ~3 simulated seconds; with the grid prefilter on, a tenth keeps
+        # the snapshot-coordinate ambiguity band narrow (rebuilds are O(N)
+        # and trivially cheap next to the queries they sharpen).
+        self._use_grid_prefilter = use_grid_prefilter
+        self._stale_budget = (
+            0.1 if use_grid_prefilter else 0.25
+        ) * phy.reception_range
+        # Exact fast paths (see repro.sim.tuning for the exactness argument
+        # of each); every one of them can be disabled independently and the
+        # trial outcome is bit-identical either way.
+        self._use_reception_memo = use_reception_memo
+        self._use_busy_cache = use_busy_cache
+        self._use_object_pool = use_object_pool
+        # Reception sets per origin node, valid only at _memo_time.
+        self._reception_memo: Dict[NodeId, List[NodeId]] = {}
+        self._memo_time: float = -1.0
+        # node -> time before which the node is provably inside carrier-sense
+        # range of a transmission that is still on the air.
+        self._busy_until: Dict[NodeId, float] = {}
+        # Reception-to-carrier-sense slack: a node within reception range
+        # stays within carrier-sense range for any interval over which it
+        # can drift at most this far.
+        self._cs_margin = phy.carrier_sense_range - phy.reception_range
+        # Air time per distinct packet size (pure in size_bytes).
+        self._airtime_memo: Optional[Dict[int, float]] = (
+            {} if use_airtime_memo else None
+        )
+        # Free list of _Reception records (recycled at end-of-air-time).
+        self._reception_pool: List[_Reception] = []
+        # Mobility segment providers (node -> segment_for) and the cached
+        # active segment per node: position interpolation evaluated locally
+        # from seven floats instead of a call chain into the mobility model
+        # per cache miss.  See repro.sim.mobility.Segment.
+        self._segment_providers: Dict[NodeId, Callable[[float], object]] = {}
+        self._segment_cache: Dict[NodeId, tuple] = {}
         self.stats = ChannelStats()
 
     # -- membership -------------------------------------------------------------
@@ -164,16 +218,67 @@ class Channel:
     def attach(self, listener: RadioListener) -> None:
         """Register a node's MAC with the channel."""
         self._listeners[listener.node_id] = listener
+        self._radio_receive[listener.node_id] = listener.radio_receive
+        self._is_transmitting[listener.node_id] = listener.is_transmitting
         self._attach_order[listener.node_id] = len(self._attach_order)
         self._active_receptions.setdefault(listener.node_id, [])
         self._grid_dirty = True
         self._positions.pop(listener.node_id, None)
         self._last_exact.pop(listener.node_id, None)
+        self._busy_until.pop(listener.node_id, None)
+        self._segment_providers.pop(listener.node_id, None)
+        self._segment_cache.pop(listener.node_id, None)
+        self._reception_memo.clear()
+
+    def register_segment_provider(
+        self, node_id: NodeId, provider: Callable[[float], object]
+    ) -> None:
+        """Let the channel interpolate ``node_id``'s position locally.
+
+        ``provider(t)`` must return a :data:`repro.sim.mobility.Segment`
+        covering ``t`` (or ``None`` to decline), and the node's position
+        must follow that segment exactly — true for the built-in mobility
+        models, registered by ``build_network`` when the
+        ``mobility_segments`` fast path is on.  The listener's ``position()``
+        remains the fallback and the reference behaviour.
+        """
+        self._segment_providers[node_id] = provider
+        self._segment_cache.pop(node_id, None)
 
     @property
     def phy(self) -> PhyConfig:
         """The shared physical-layer configuration."""
         return self._phy
+
+    def busy_until_view(self) -> Dict[NodeId, float]:
+        """Read-only view of the carrier-sense busy-until cache.
+
+        ``view.get(node, 0.0) > now`` means the node is provably inside
+        carrier-sense range of a transmission still on the air (see
+        :meth:`is_busy_near`).  The MAC's backoff fast path checks this
+        dictionary directly before paying for a full carrier-sense call;
+        with the cache disabled the dictionary simply stays empty.  Callers
+        must never write to it.
+        """
+        return self._busy_until
+
+    def airtime(self, frame: Frame) -> float:
+        """``phy.transmission_time(frame)``, memoised per packet size.
+
+        The air time is a pure function of ``frame.packet.size_bytes``; a
+        trial sees a handful of distinct sizes (the CBR payload plus the
+        control-packet sizes) but computes the time hundreds of thousands of
+        times.
+        """
+        memo = self._airtime_memo
+        if memo is None:
+            return self._phy.transmission_time(frame)
+        size = frame.packet.size_bytes
+        duration = memo.get(size)
+        if duration is None:
+            duration = self._phy.transmission_time(frame)
+            memo[size] = duration
+        return duration
 
     # -- position cache ----------------------------------------------------------
 
@@ -188,16 +293,57 @@ class Channel:
         self._positions.clear()
         self._last_exact.clear()
         self._grid_dirty = True
+        # All of these derive from cached positions / drift bounds; a
+        # teleport invalidates them with everything else.
+        self._reception_memo.clear()
+        self._memo_time = -1.0
+        self._busy_until.clear()
+        self._segment_cache.clear()
 
     def _position_of(self, node_id: NodeId) -> Tuple[float, float]:
-        """``node_id``'s position now, interpolated at most once per timestamp."""
+        """``node_id``'s position now, interpolated at most once per timestamp.
+
+        Cache misses evaluate the node's registered mobility segment in
+        place (expression-for-expression the mobility model's own fast
+        path, so the floats are identical) and only fall back to the
+        listener's ``position()`` call chain when no segment covers ``now``.
+        """
         now = self._simulator.now
         if now != self._cache_time:
             self._positions.clear()
             self._cache_time = now
         position = self._positions.get(node_id)
         if position is None:
-            position = self._listeners[node_id].position()
+            segment = self._segment_cache.get(node_id)
+            if segment is None or not (segment[0] <= now <= segment[2]):
+                provider = self._segment_providers.get(node_id)
+                segment = provider(now) if provider is not None else None
+                if segment is not None:
+                    self._segment_cache[node_id] = segment
+            if segment is not None:
+                # Inlined RandomWaypointMobility.position_at_xy over the
+                # seven segment floats.
+                depart = segment[1]
+                if now <= depart:
+                    # Mid-pause: the position stays exact until departure.
+                    position = (segment[3], segment[4])
+                    self._positions[node_id] = position
+                    self._last_exact[node_id] = (position[0], position[1], depart)
+                    return position
+                if now >= segment[2]:
+                    position = (segment[5], segment[6])
+                else:
+                    travel = segment[2] - depart
+                    fraction = (now - depart) / travel if travel > 0 else 1.0
+                    fraction = min(max(fraction, 0.0), 1.0)
+                    sx = segment[3]
+                    sy = segment[4]
+                    position = (
+                        sx + (segment[5] - sx) * fraction,
+                        sy + (segment[6] - sy) * fraction,
+                    )
+            else:
+                position = self._listeners[node_id].position()
             self._positions[node_id] = position
             self._last_exact[node_id] = (position[0], position[1], now)
         return position
@@ -238,33 +384,55 @@ class Channel:
         if self._use_spatial_index:
             slack = self._grid_slack()
             now = self._simulator.now
-            last_exact = self._last_exact
+            known_get = self._last_exact.get
             max_speed = self._max_node_speed
             position_of = self._position_of
-            for node_id in self._grid.candidates_within(
+            append = result.append
+            prefilter = self._use_grid_prefilter
+            for bucket in self._grid.candidate_buckets(
                 origin, reception_range + slack
             ):
-                if node_id == exclude:
-                    continue
-                # Decide d <= range from the last exact position when the
-                # drift bound allows; interpolate only in the ambiguous band.
-                known = last_exact.get(node_id)
-                if known is not None:
-                    drift = max_speed * (now - known[2])
-                    if drift >= 0.0:
+                for node_id, bx, by in bucket:
+                    if node_id == exclude:
+                        continue
+                    if prefilter:
+                        # First filter from the snapshot coordinates already
+                        # in hand: the node has drifted at most `slack`
+                        # since the snapshot, so a snapshot distance at
+                        # least that far inside (outside) the range decides
+                        # membership with no per-node lookup at all.
+                        dx = bx - ox
+                        dy = by - oy
+                        snapshot_distance = (dx * dx + dy * dy) ** 0.5
+                        if snapshot_distance + slack <= reception_range:
+                            append(node_id)
+                            continue
+                        if snapshot_distance > reception_range + slack:
+                            continue
+                    # Decide d <= range from the last exact position when
+                    # the drift bound allows; interpolate only in the
+                    # ambiguous band.  A negative age means the position is
+                    # exact until a future time (paused node): zero drift.
+                    known = known_get(node_id)
+                    if known is not None:
+                        # Clamp the age, not the product: an age of -inf
+                        # (node static forever) times a zero speed bound
+                        # would otherwise be NaN.
+                        age = now - known[2]
+                        drift = max_speed * age if age > 0.0 else 0.0
                         dx = known[0] - ox
                         dy = known[1] - oy
                         distance = (dx * dx + dy * dy) ** 0.5
                         if distance + drift <= reception_range:
-                            result.append(node_id)
+                            append(node_id)
                             continue
                         if distance - drift > reception_range:
                             continue
-                position = position_of(node_id)
-                dx = position[0] - ox
-                dy = position[1] - oy
-                if (dx * dx + dy * dy) ** 0.5 <= reception_range:
-                    result.append(node_id)
+                    position = position_of(node_id)
+                    dx = position[0] - ox
+                    dy = position[1] - oy
+                    if (dx * dx + dy * dy) ** 0.5 <= reception_range:
+                        append(node_id)
             result.sort(key=self._attach_order.__getitem__)
             return result
         for node_id in self._listeners:
@@ -277,10 +445,32 @@ class Channel:
                 result.append(node_id)
         return result
 
+    def _reception_set(self, node_id: NodeId) -> List[NodeId]:
+        """Nodes within reception range of ``node_id``, memoised per timestamp.
+
+        Positions are pure functions of the clock and
+        :meth:`_nodes_in_range_of` is deterministic in them, so two queries
+        for the same node at one timestamp must agree — which is exactly
+        what a flood burst does when several relays fire in the same slot.
+        Callers must not mutate the returned list.
+        """
+        if not self._use_reception_memo:
+            origin = self._position_of(node_id)
+            return self._nodes_in_range_of(origin, exclude=node_id)
+        now = self._simulator.now
+        if now != self._memo_time:
+            self._reception_memo.clear()
+            self._memo_time = now
+        cached = self._reception_memo.get(node_id)
+        if cached is None:
+            origin = self._position_of(node_id)
+            cached = self._nodes_in_range_of(origin, exclude=node_id)
+            self._reception_memo[node_id] = cached
+        return cached
+
     def neighbors_of(self, node_id: NodeId) -> List[NodeId]:
         """Nodes currently within reception range of ``node_id``."""
-        origin = self._position_of(node_id)
-        return self._nodes_in_range_of(origin, exclude=node_id)
+        return list(self._reception_set(node_id))
 
     def in_range(self, a: NodeId, b: NodeId) -> bool:
         """True when nodes ``a`` and ``b`` can currently hear each other."""
@@ -294,33 +484,51 @@ class Channel:
     def is_busy_near(self, node_id: NodeId) -> bool:
         """True when a transmission is in progress within carrier-sense range."""
         now = self._simulator.now
+        if self._use_busy_cache and now < self._busy_until.get(node_id, 0.0):
+            # A transmission still on the air was certified within
+            # carrier-sense range for every instant before busy_until
+            # (distance + worst-case drift at its end time <= cs range), so
+            # no geometry is needed.  The hot case: a deferring MAC polls
+            # many times during one long frame.
+            return True
         active = self._active_transmissions
         while active and active[0][0] <= now:
             heapq.heappop(active)
         if not active:
             return False
         carrier_sense_range = self._phy.carrier_sense_range
+        max_speed = self._max_node_speed
         known = self._last_exact.get(node_id) if self._use_spatial_index else None
         if known is not None:
             # Decide each d <= cs_range comparison from the last exact
             # position plus a drift bound; only an answer inside the
-            # uncertainty band forces a fresh interpolation.
-            drift = self._max_node_speed * (now - known[2])
-            if drift >= 0.0:
-                px = known[0]
-                py = known[1]
-                ambiguous = False
-                for _, _, transmission in active:
-                    tx, ty = transmission.position
-                    dx = tx - px
-                    dy = ty - py
-                    distance = (dx * dx + dy * dy) ** 0.5
-                    if distance + drift <= carrier_sense_range:
-                        return True
-                    if distance - drift <= carrier_sense_range:
-                        ambiguous = True
-                if not ambiguous:
-                    return False
+            # uncertainty band forces a fresh interpolation.  A negative age
+            # means the position is exact until a future time (paused
+            # node): zero drift.
+            known_time = known[2]
+            # Clamp the age, not the product: an age of -inf (node static
+            # forever) times a zero speed bound would otherwise be NaN.
+            age = now - known_time
+            drift = max_speed * age if age > 0.0 else 0.0
+            px = known[0]
+            py = known[1]
+            ambiguous = False
+            for _, _, transmission in active:
+                tx, ty = transmission.position
+                dx = tx - px
+                dy = ty - py
+                distance = (dx * dx + dy * dy) ** 0.5
+                if distance + drift <= carrier_sense_range:
+                    if self._use_busy_cache:
+                        exposure = transmission.end - known_time
+                        margin = max_speed * exposure if exposure > 0.0 else 0.0
+                        if distance + margin <= carrier_sense_range:
+                            self._busy_until[node_id] = transmission.end
+                    return True
+                if distance - drift <= carrier_sense_range:
+                    ambiguous = True
+            if not ambiguous:
+                return False
         position = self._position_of(node_id)
         px, py = position
         for _, _, transmission in active:
@@ -328,6 +536,13 @@ class Channel:
             dx = tx - px
             dy = ty - py
             if (dx * dx + dy * dy) ** 0.5 <= carrier_sense_range:
+                if (
+                    self._use_busy_cache
+                    and (dx * dx + dy * dy) ** 0.5
+                    + max_speed * (transmission.end - now)
+                    <= carrier_sense_range
+                ):
+                    self._busy_until[node_id] = transmission.end
                 return True
         return False
 
@@ -346,7 +561,7 @@ class Channel:
         receiver decoded the frame successfully — the idealised 802.11 ACK.
         """
         now = self._simulator.now
-        duration = self._phy.transmission_time(frame)
+        duration = self.airtime(frame)
         origin = self._position_of(transmitter)
 
         transmission = _Transmission(frame, transmitter, now, now + duration, origin)
@@ -358,39 +573,75 @@ class Channel:
         self.stats.transmissions += 1
 
         receptions: List[_Reception] = []
+        receptions_append = receptions.append
         stats = self.stats
-        listeners = self._listeners
+        is_transmitting = self._is_transmitting
         active_receptions = self._active_receptions
+        pool = self._reception_pool if self._use_object_pool else None
         end = now + duration
-        for receiver_id in self._nodes_in_range_of(origin, exclude=transmitter):
-            reception = _Reception(frame, transmitter, receiver_id, now, end)
-            stats.receptions_started += 1
+        # Carrier-sense certification for receivers (see below): every
+        # receiver is within reception range now, so while the worst-case
+        # drift over the air time fits inside the reception-to-carrier-sense
+        # margin it provably stays within carrier-sense range until `end`.
+        seed_busy = (
+            self._use_busy_cache
+            and self._max_node_speed * duration <= self._cs_margin
+        )
+        busy_until = self._busy_until
+        for receiver_id in self._reception_set(transmitter):
+            if pool:
+                reception = pool.pop()
+                reception.frame = frame
+                reception.transmitter = transmitter
+                reception.receiver = receiver_id
+                reception.start = now
+                reception.end = end
+                reception.collided = False
+            else:
+                reception = _Reception(frame, transmitter, receiver_id, now, end)
             # Half-duplex: a node that is itself transmitting cannot receive.
-            if listeners[receiver_id].is_transmitting():
-                reception.collided = True
+            collided = is_transmitting[receiver_id]()
             # Overlap with any reception already in progress collides both.
-            for other in active_receptions[receiver_id]:
+            actives = active_receptions[receiver_id]
+            for other in actives:
                 if other.end > now:
                     other.collided = True
-                    reception.collided = True
-            active_receptions[receiver_id].append(reception)
-            receptions.append(reception)
+                    collided = True
+            reception.collided = collided
+            actives.append(reception)
+            receptions_append(reception)
+            if seed_busy and busy_until.get(receiver_id, 0.0) < end:
+                # These are exactly the nodes about to contend to relay a
+                # flood: their defer polls become dictionary hits.
+                busy_until[receiver_id] = end
+        stats.receptions_started += len(receptions)
+
+        radio_receive = self._radio_receive
 
         def finish() -> None:
             delivered_to_target = False
             is_unicast = not frame.is_broadcast
             target = frame.receiver
+            collisions = 0
+            delivered = 0
             for reception in receptions:
+                receiver = reception.receiver
                 # Every reception was appended in the loop above and is only
                 # ever removed here, so it is always present.
-                active_receptions[reception.receiver].remove(reception)
+                active_receptions[receiver].remove(reception)
                 if reception.collided:
-                    stats.collisions += 1
+                    collisions += 1
                     continue
-                stats.receptions_delivered += 1
-                listeners[reception.receiver].radio_receive(frame, transmitter)
-                if is_unicast and reception.receiver == target:
+                delivered += 1
+                radio_receive[receiver](frame, transmitter)
+                if is_unicast and receiver == target:
                     delivered_to_target = True
+            stats.collisions += collisions
+            stats.receptions_delivered += delivered
+            if pool is not None:
+                # The records are out of every active list and the local
+                # references die with this closure: recycle them.
+                pool.extend(receptions)
             if on_complete is not None:
                 on_complete(delivered_to_target)
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
+from heapq import heappush as _heappush
 from typing import Callable, Deque, Hashable, Optional
 
 from .channel import Channel
@@ -36,7 +37,7 @@ ReceiveHandler = Callable[[Packet, NodeId], None]
 FailureHandler = Callable[[Packet, NodeId], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class MacStats:
     """Per-node MAC counters."""
 
@@ -64,6 +65,8 @@ class Mac:
         rng: random.Random,
         *,
         position_provider: Callable[[], "tuple[float, float]"],
+        use_fast_backoff: bool = True,
+        use_frame_pool: bool = True,
     ) -> None:
         self.node_id = node_id
         self._simulator = simulator
@@ -73,6 +76,19 @@ class Mac:
         # hundreds of thousands of backoff decisions).
         self._call_in = simulator.call_in
         self._randint = rng.randint
+        # The fast backoff path draws slots straight through the primitive
+        # ``randint`` bottoms out in: ``randint(a, b)`` is exactly
+        # ``a + _randbelow(b - a + 1)``, and ``Random._randbelow`` is the
+        # rejection loop over ``getrandbits(n.bit_length())``.  Re-running
+        # that loop inline with a precomputed bit length consumes the
+        # identical underlying getrandbits draws, so the slot sequence is
+        # bit-identical while skipping three layers of dispatch per draw.
+        # Only exact for random.Random itself (a subclass could override
+        # the primitives), hence the type check.
+        self._use_fast_backoff = use_fast_backoff and type(rng) is random.Random
+        # Free list of Frame objects (recycled once off the air).
+        self._frame_pool: "list[Frame]" = []
+        self._use_frame_pool = use_frame_pool
         self._position_provider = position_provider
         self._phy = channel.phy
         # Contention windows per attempt, precomputed: the window formula sits
@@ -125,12 +141,18 @@ class Mac:
         if len(self._queue) >= self._phy.max_queue_length:
             self.stats.queue_drops += 1
             return
-        frame = Frame(
-            packet=packet,
-            transmitter=self.node_id,
-            receiver=next_hop,
-            enqueued_at=self._simulator.now,
-        )
+        pool = self._frame_pool
+        if pool:
+            frame = pool.pop().reinit(
+                packet, self.node_id, next_hop, self._simulator.now
+            )
+        else:
+            frame = Frame(
+                packet=packet,
+                transmitter=self.node_id,
+                receiver=next_hop,
+                enqueued_at=self._simulator.now,
+            )
         self._queue.append(frame)
         self.stats.enqueued += 1
         self._try_dequeue()
@@ -148,6 +170,9 @@ class Mac:
         self._attempt(frame, attempt=0)
 
     def _attempt(self, frame: Frame, attempt: int) -> None:
+        if self._use_fast_backoff:
+            self._fast_attempt(frame, attempt)
+            return
         if self._channel.is_busy_near(self.node_id):
             self._defer(frame, attempt)
             return
@@ -157,6 +182,73 @@ class Mac:
         self._call_in(
             jitter_slots * self._slot_time, lambda: self._transmit(frame, attempt)
         )
+
+    def _fast_attempt(self, frame: Frame, attempt: int) -> None:
+        """The backoff loop as two closures reused across every defer.
+
+        A saturated channel makes tens of defer polls per transmitted frame,
+        and the slow path pays for each with a fresh lambda, a dispatch
+        through ``_attempt``/``_defer``, three layers of ``randint``
+        validation and the ``call_in`` wrapper.  Here one ``poll``/``fire``
+        closure pair serves the whole (frame, attempt), slots come from the
+        inlined ``_randbelow`` rejection loop with the bit length
+        precomputed (the window is a per-attempt constant), and entries go
+        straight onto the engine heap via
+        :meth:`~repro.sim.engine.Simulator.hot_scheduler`.  The decision
+        sequence, the RNG draws, the scheduled (time, priority, sequence)
+        entries and the global scheduling order are identical to the slow
+        path:
+
+        * defer  = ``randint(1, w)``  = ``1 + _randbelow(w)``
+        * jitter = ``randint(0, w)``  = ``_randbelow(w + 1)``
+        * ``_randbelow(n)`` = ``getrandbits(n.bit_length())`` redrawn while
+          ``>= n``
+        """
+        window = self._windows[attempt]
+        defer_bits = window.bit_length()
+        jitter_n = window + 1
+        jitter_bits = jitter_n.bit_length()
+        slot = self._slot_time
+        getrandbits = self._rng.getrandbits
+        is_busy_near = self._channel.is_busy_near
+        # The channel's busy-until cache, consulted inline: a hit answers
+        # the carrier-sense question from one dict lookup (the cache is
+        # exact — see Channel.is_busy_near); a miss falls through to the
+        # full call.  Disabled cache => empty dict => always falls through.
+        busy_until = self._channel.busy_until_view().get
+        node_id = self.node_id
+        simulator = self._simulator
+        heap, next_sequence = simulator.hot_scheduler()
+        heappush = _heappush
+
+        def poll() -> None:
+            now = simulator.now
+            if now < busy_until(node_id, 0.0) or is_busy_near(node_id):
+                r = getrandbits(defer_bits)
+                while r >= window:
+                    r = getrandbits(defer_bits)
+                heappush(
+                    heap, ((1 + r) * slot + now, 0, next_sequence(), poll)
+                )
+            else:
+                r = getrandbits(jitter_bits)
+                while r >= jitter_n:
+                    r = getrandbits(jitter_bits)
+                heappush(heap, (r * slot + now, 0, next_sequence(), fire))
+
+        def fire() -> None:
+            now = simulator.now
+            if now < busy_until(node_id, 0.0) or is_busy_near(node_id):
+                r = getrandbits(defer_bits)
+                while r >= window:
+                    r = getrandbits(defer_bits)
+                heappush(
+                    heap, ((1 + r) * slot + now, 0, next_sequence(), poll)
+                )
+            else:
+                self._transmit_frame(frame, attempt)
+
+        poll()
 
     def _defer(self, frame: Frame, attempt: int) -> None:
         backoff_slots = self._randint(1, self._windows[attempt])
@@ -168,7 +260,11 @@ class Mac:
         if self._channel.is_busy_near(self.node_id):
             self._defer(frame, attempt)
             return
-        duration = self._phy.transmission_time(frame)
+        self._transmit_frame(frame, attempt)
+
+    def _transmit_frame(self, frame: Frame, attempt: int) -> None:
+        """Put the frame on the air (the channel was just sensed idle)."""
+        duration = self._channel.airtime(frame)
         self._transmitting_until = self._simulator.now + duration
         self.stats.transmitted_frames += 1
         frame.packet.hops += 1
@@ -199,7 +295,13 @@ class Mac:
 
         def proceed() -> None:
             if self._queue:
-                self._queue.popleft()
+                frame = self._queue.popleft()
+                if self._use_frame_pool:
+                    # The channel's end-of-air-time completion ran at this
+                    # timestamp with priority 1, before this priority-2
+                    # callback: every reception of the frame is settled and
+                    # nothing will read it again.
+                    self._frame_pool.append(frame)
             self._busy = False
             self._try_dequeue()
 

@@ -29,7 +29,18 @@ __all__ = [
     "StaticMobility",
     "RandomWaypointMobility",
     "Waypoint",
+    "Segment",
+    "bulk_positions_at",
 ]
+
+#: One precompiled motion segment: ``(valid_from, depart, arrival, sx, sy,
+#: ex, ey)``.  For any ``t`` in ``[valid_from, arrival]`` the node sits at
+#: ``(sx, sy)`` until ``depart``, then moves linearly, arriving at
+#: ``(ex, ey)`` at ``arrival``.  Evaluating the inlined interpolation
+#: expressions of :meth:`RandomWaypointMobility.position_at_xy` over these
+#: seven floats reproduces its results bit for bit — which lets the channel
+#: interpolate positions without a per-query call chain into the model.
+Segment = Tuple[float, float, float, float, float, float, float]
 
 
 class MobilityModel(abc.ABC):
@@ -50,6 +61,18 @@ class MobilityModel(abc.ABC):
         point = self.position_at(time)
         return (point.x, point.y)
 
+    def segment_for(self, time: float) -> "Segment | None":
+        """The active linear motion segment covering ``time``, if the model
+        can describe one (see :data:`Segment`); ``None`` for models that
+        cannot.
+
+        A segment hands the caller everything needed to evaluate the node's
+        position *locally* for any instant inside the segment's validity
+        window — the channel uses this to fill its per-timestamp position
+        cache without a Python call chain per interpolation.
+        """
+        return None
+
 
 @dataclass(frozen=True, slots=True)
 class StaticMobility(MobilityModel):
@@ -63,6 +86,20 @@ class StaticMobility(MobilityModel):
     def position_at_xy(self, time: float) -> Tuple[float, float]:
         position = self.position
         return (position.x, position.y)
+
+    def segment_for(self, time: float) -> "Segment":
+        # A static node is one eternal pause: depart never comes.
+        position = self.position
+        infinity = float("inf")
+        return (
+            0.0,
+            infinity,
+            infinity,
+            position.x,
+            position.y,
+            position.x,
+            position.y,
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -96,6 +133,14 @@ class RandomWaypointMobility(MobilityModel):
     The trace is extended on demand (and cached) so querying positions is
     O(log n) in the number of generated legs via binary search over arrival
     times; identical seeds produce identical traces.
+
+    With ``use_segment_table`` (default) each appended leg is also compiled
+    into a flat tuple ``(depart, arrival, sx, sy, ex, ey)`` kept in a list
+    parallel to ``_arrivals``; ``position_at_xy`` then binary-searches and
+    interpolates over plain floats with no :class:`Waypoint` attribute
+    walks.  The interpolation expressions are copied verbatim from
+    :meth:`Waypoint.position_at`, so the returned floats are bit-identical
+    to the slow path's.
     """
 
     def __init__(
@@ -107,6 +152,7 @@ class RandomWaypointMobility(MobilityModel):
         max_speed: float = 20.0,
         pause_time: float = 0.0,
         initial_position: Position | None = None,
+        use_segment_table: bool = True,
     ) -> None:
         if max_speed <= 0:
             raise ValueError("max_speed must be positive")
@@ -119,10 +165,14 @@ class RandomWaypointMobility(MobilityModel):
         self._min_speed = min_speed
         self._max_speed = max_speed
         self._pause_time = pause_time
+        self._use_segment_table = use_segment_table
         start = initial_position or terrain.random_position(rng)
         self._legs: List[Waypoint] = []
         # Arrival times of self._legs, kept parallel for bisecting.
         self._arrivals: List[float] = []
+        # Precompiled segment table: (depart, arrival, sx, sy, ex, ey) per
+        # leg, parallel to _arrivals (built only when use_segment_table).
+        self._segments: List[Tuple[float, float, float, float, float, float]] = []
         self._append_leg(start_time=0.0, start=start)
 
     # -- trace construction -------------------------------------------------------
@@ -147,6 +197,17 @@ class RandomWaypointMobility(MobilityModel):
             )
         )
         self._arrivals.append(depart_time + travel_time)
+        if self._use_segment_table:
+            self._segments.append(
+                (
+                    depart_time,
+                    depart_time + travel_time,
+                    start.x,
+                    start.y,
+                    destination.x,
+                    destination.y,
+                )
+            )
 
     def _extend_until(self, time: float) -> None:
         while self._legs[-1].arrival_time < time:
@@ -167,6 +228,26 @@ class RandomWaypointMobility(MobilityModel):
         return self._leg_at(time).position_at(time)
 
     def position_at_xy(self, time: float) -> Tuple[float, float]:
+        if self._use_segment_table:
+            # Precompiled segment table: binary search over plain floats,
+            # same inlined interpolation expressions as the slow path below.
+            if time < 0:
+                raise ValueError("time must be non-negative")
+            arrivals = self._arrivals
+            if arrivals[-1] < time:
+                self._extend_until(time)
+                arrivals = self._arrivals
+            depart, arrival, sx, sy, ex, ey = self._segments[
+                bisect_left(arrivals, time)
+            ]
+            if time <= depart:
+                return (sx, sy)
+            if time >= arrival:
+                return (ex, ey)
+            travel = arrival - depart
+            fraction = (time - depart) / travel if travel > 0 else 1.0
+            fraction = min(max(fraction, 0.0), 1.0)
+            return (sx + (ex - sx) * fraction, sy + (ey - sy) * fraction)
         # Inlined Waypoint.position_at + Position.interpolate, expression for
         # expression, so the floats are identical to the slow path — but with
         # no intermediate Position allocated.
@@ -187,7 +268,44 @@ class RandomWaypointMobility(MobilityModel):
             start.y + (end.y - start.y) * fraction,
         )
 
+    def segment_for(self, time: float) -> "Segment | None":
+        """The precompiled segment covering ``time`` (segment table only).
+
+        ``valid_from`` is the previous leg's arrival (0 for the first leg):
+        at the exact boundary instant both legs evaluate to the same
+        coordinates (one leg's end is the next leg's start), so a caller
+        holding either segment computes identical floats.
+        """
+        if not self._use_segment_table:
+            return None
+        if time < 0:
+            raise ValueError("time must be non-negative")
+        arrivals = self._arrivals
+        if arrivals[-1] < time:
+            self._extend_until(time)
+            arrivals = self._arrivals
+        index = bisect_left(arrivals, time)
+        valid_from = arrivals[index - 1] if index else 0.0
+        return (valid_from, *self._segments[index])
+
     @property
     def pause_time(self) -> float:
         """The configured pause time in seconds."""
         return self._pause_time
+
+
+def bulk_positions_at(
+    models: "dict[object, MobilityModel]", time: float
+) -> "dict[object, Tuple[float, float]]":
+    """Every model's position at ``time``, in one pass.
+
+    A convenience for tooling and tests that need a full position snapshot
+    (each node interpolated once via its allocation-free ``position_at_xy``
+    fast path).  The channel itself does *not* use this: it fills its
+    per-timestamp cache lazily — cheaper when only a subset of nodes is
+    queried at a timestamp — and evaluates registered mobility segments in
+    place (see :meth:`MobilityModel.segment_for`).
+    """
+    return {
+        node_id: model.position_at_xy(time) for node_id, model in models.items()
+    }

@@ -19,6 +19,7 @@ from .mobility import RandomWaypointMobility, StaticMobility
 from .node import Node
 from .rng import RngStreams
 from .stats import TrialStats, TrialSummary
+from .tuning import FastPaths
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..protocols.base import RoutingProtocol
@@ -66,6 +67,7 @@ def build_network(
     with_traffic: bool = True,
     static_positions: bool = False,
     use_spatial_index: bool = True,
+    fast_paths: Optional[FastPaths] = None,
 ) -> Network:
     """Assemble a ready-to-run :class:`Network` for one trial.
 
@@ -74,10 +76,13 @@ def build_network(
     behaviour without mobility.  ``use_spatial_index=False`` keeps the
     channel on its brute-force O(N) geometry scans — results are identical
     either way (the equivalence tests rely on this); it exists for A/B
-    benchmarking and as a fallback.
+    benchmarking and as a fallback.  ``fast_paths`` selects the exact
+    hot-path optimizations (:class:`~repro.sim.tuning.FastPaths`; default:
+    all on) under the same bit-identical contract.
     """
     from ..workloads.cbr import CbrTrafficManager  # local import to avoid a cycle
 
+    fp = FastPaths() if fast_paths is None else fast_paths
     simulator = Simulator()
     streams = RngStreams(scenario.seed)
     # Random-waypoint legs floor the drawn speed at 0.1 m/s, so the channel's
@@ -88,6 +93,11 @@ def build_network(
         scenario.phy,
         max_node_speed=max_node_speed,
         use_spatial_index=use_spatial_index,
+        use_reception_memo=fp.reception_memo,
+        use_busy_cache=fp.busy_cache,
+        use_airtime_memo=fp.airtime_memo,
+        use_object_pool=fp.frame_pool,
+        use_grid_prefilter=fp.grid_prefilter,
     )
     stats = TrialStats()
     terrain = scenario.terrain
@@ -106,6 +116,7 @@ def build_network(
                 max_speed=scenario.max_speed,
                 pause_time=scenario.pause_time,
                 initial_position=initial,
+                use_segment_table=fp.mobility_segments,
             )
         # The position provider looks the node up lazily, so it is safe to
         # construct the MAC before the Node object exists.
@@ -115,10 +126,17 @@ def build_network(
             channel,
             streams.get(f"mac:{node_id}"),
             position_provider=lambda nid=node_id: nodes[nid].position(),
+            use_fast_backoff=fp.fast_backoff,
+            use_frame_pool=fp.frame_pool,
         )
         node = Node(node_id, simulator, mobility, mac, stats)
         nodes[node_id] = node
         node.attach_protocol(protocol_factory(node_id))
+        if fp.mobility_segments:
+            # Let the channel interpolate this node from precompiled
+            # segments instead of calling through mac -> node -> mobility
+            # on every position-cache miss.
+            channel.register_segment_provider(node_id, mobility.segment_for)
 
     traffic = None
     if with_traffic and scenario.flow_count > 0:
@@ -149,6 +167,7 @@ def run_trial(
     *,
     static_positions: bool = False,
     use_spatial_index: bool = True,
+    fast_paths: Optional[FastPaths] = None,
 ) -> TrialSummary:
     """Build a network for ``scenario``, run it, and return the summary."""
     network = build_network(
@@ -156,5 +175,6 @@ def run_trial(
         protocol_factory,
         static_positions=static_positions,
         use_spatial_index=use_spatial_index,
+        fast_paths=fast_paths,
     )
     return network.run()

@@ -73,6 +73,42 @@ class SpatialGrid:
 
     # -- queries -----------------------------------------------------------------
 
+    def candidate_buckets(
+        self, pos: Tuple[float, float], radius: float
+    ) -> List[List[Tuple[Key, float, float]]]:
+        """The occupied cell buckets overlapping the query disk's bounding
+        square — the same candidate superset as :meth:`candidates_within`
+        without flattening into one key list.
+
+        The channel's reception-set query iterates candidates once per
+        transmission; handing it the internal bucket lists (contract:
+        read-only) skips one list build + append per candidate on the
+        hottest geometry path.
+        """
+        if radius < 0:
+            return []
+        cs = self.cell_size
+        x, y = pos
+        cx_lo = int((x - radius) // cs)
+        cx_hi = int((x + radius) // cs)
+        cy_lo = int((y - radius) // cs)
+        cy_hi = int((y + radius) // cs)
+        cells = self._cells
+        if len(cells) <= (cx_hi - cx_lo + 1) * (cy_hi - cy_lo + 1):
+            return [
+                bucket
+                for (cx, cy), bucket in cells.items()
+                if cx_lo <= cx <= cx_hi and cy_lo <= cy <= cy_hi
+            ]
+        buckets: List[List[Tuple[Key, float, float]]] = []
+        cells_get = cells.get
+        for cx in range(cx_lo, cx_hi + 1):
+            for cy in range(cy_lo, cy_hi + 1):
+                bucket = cells_get((cx, cy))
+                if bucket is not None:
+                    buckets.append(bucket)
+        return buckets
+
     def candidates_within(self, pos: Tuple[float, float], radius: float) -> List[Key]:
         """Keys of every point in a cell overlapping the query disk's bounding
         square — a superset of the points within ``radius`` of ``pos``.

@@ -82,7 +82,23 @@ class TrialSummary:
 
 
 class TrialStats:
-    """Mutable counters filled in while one trial runs."""
+    """Mutable counters filled in while one trial runs.
+
+    ``__slots__`` because the data-path records (one attribute increment per
+    originated/delivered packet and per control transmission) are hot enough
+    at paper scale for dict-based attribute lookup to show up in profiles.
+    """
+
+    __slots__ = (
+        "data_sent",
+        "data_delivered",
+        "duplicate_deliveries",
+        "control_transmissions",
+        "latencies",
+        "mac_drops_by_node",
+        "sequence_numbers_by_node",
+        "_delivered_uids",
+    )
 
     def __init__(self) -> None:
         self.data_sent = 0

@@ -1,0 +1,92 @@
+"""Per-trial performance tuning: the fast-path flag set.
+
+Every optimization PR 5 added to the per-trial hot path is *exact*: for a
+fixed seed a trial produces a bit-identical
+:class:`~repro.sim.stats.TrialSummary` with the fast path on or off.  The
+flags exist (all defaulting on, like ``use_spatial_index`` from PR 1) for A/B
+benchmarking, for the equivalence tests that enforce that contract, and as an
+escape hatch if an exotic configuration ever violates a fast path's
+assumptions.
+
+The flags, and the exactness argument for each:
+
+``mobility_segments``
+    :class:`~repro.sim.mobility.RandomWaypointMobility` keeps a precompiled
+    flat segment table (plain float tuples) beside its :class:`Waypoint`
+    legs; ``position_at_xy`` binary-searches the table and interpolates with
+    expression-for-expression identical float arithmetic.
+``reception_memo``
+    The channel memoises reception sets per (timestamp, node): positions are
+    pure functions of the clock and the membership test is deterministic, so
+    two queries at one timestamp for one origin node must return the same
+    set.  The memo is dropped whenever the clock advances or a listener
+    attaches.
+``busy_cache``
+    Carrier sense caches a per-node *busy-until* time: when a transmission
+    ending at ``t_end`` is within carrier-sense range by more than the node
+    could travel before ``t_end`` (``distance + max_speed * (t_end -
+    known_t) <= cs_range``), the node is provably inside carrier-sense range
+    of an active transmission for every instant before ``t_end``, so polls
+    until then answer True without any geometry.
+``fast_backoff``
+    The MAC draws backoff and jitter slots via ``Random._randbelow`` — the
+    exact primitive ``Random.randint`` bottoms out in, consuming the
+    identical underlying ``getrandbits`` draws — and reuses one poll closure
+    per (frame, attempt) instead of allocating a lambda per defer.  Draw
+    sequence, event times, priorities and scheduling order are unchanged.
+``frame_pool``
+    :class:`~repro.sim.packet.Frame` and the channel's internal reception
+    records are recycled through free lists once the engine is provably done
+    with them (after the end-of-air-time completion at the same timestamp
+    has run).  No routing decision ever reads object identity.
+``airtime_memo``
+    Frame air time is a pure function of the packet size, so the channel
+    memoises ``PhyConfig.transmission_time`` per distinct size.
+``grid_prefilter``
+    Reception-set queries first decide each candidate from the grid's own
+    snapshot coordinates: a node has drifted at most the snapshot's
+    staleness slack, so a snapshot distance at least ``slack`` inside
+    (outside) the reception range proves membership (non-membership)
+    without any per-node lookup.  The staleness budget is tightened so the
+    undecided band stays narrow; membership is identical because the
+    bounds are conservative and the band falls through to the exact path.
+
+OLSR's incremental routing-table maintenance is the same kind of exact fast
+path but lives in :class:`~repro.protocols.olsr.OlsrConfig`
+(``incremental_routes``) because protocol instances are built by the protocol
+factory, not by ``build_network``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["FastPaths"]
+
+
+@dataclass(frozen=True, slots=True)
+class FastPaths:
+    """Which exact hot-path optimizations a trial runs with (default: all)."""
+
+    mobility_segments: bool = True
+    reception_memo: bool = True
+    busy_cache: bool = True
+    fast_backoff: bool = True
+    frame_pool: bool = True
+    airtime_memo: bool = True
+    grid_prefilter: bool = True
+
+    @classmethod
+    def none(cls) -> "FastPaths":
+        """Every fast path disabled — the reference slow path for A/B runs."""
+        return cls(**{f.name: False for f in fields(cls)})
+
+    @classmethod
+    def only(cls, *names: str) -> "FastPaths":
+        """Only the named fast paths enabled (equivalence tests toggle one
+        at a time to localise a violation)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(names) - known
+        if unknown:
+            raise ValueError(f"unknown fast paths: {sorted(unknown)}")
+        return cls(**{name: name in names for name in known})

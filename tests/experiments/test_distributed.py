@@ -205,7 +205,9 @@ class TestLeases:
 class TestWorkStealing:
     """Concurrent backends over one store: exactly-once, identical results."""
 
-    def _run_workers(self, store_root, jobs, worker_ids, *, run, clock=None):
+    def _run_workers(
+        self, store_root, jobs, worker_ids, *, run, clock=None, pool_jobs=1
+    ):
         backends, events, errors = {}, {}, []
 
         def work(worker_id):
@@ -217,6 +219,7 @@ class TestWorkStealing:
                     poll_interval=0.01,
                     clock=clock or time.time,
                     run=run,
+                    jobs=pool_jobs,
                 )
                 backends[worker_id] = backend
                 events[worker_id] = []
@@ -284,6 +287,35 @@ class TestWorkStealing:
             assert {e.job for e in worker_events} == set(jobs)
         # All leases were released on the way out.
         assert ResultsStore(shared.root).claims() == {}
+
+    def test_hybrid_pool_workers_match_the_serial_store(
+        self, tmp_path, scenario, jobs, serial_outcomes
+    ):
+        """The ROADMAP's worker-pool hybrid: two lease-polling workers, each
+        fanning its claimed cells over a 2-process local pool, converge on a
+        store cell-for-cell identical to the serial run with no cell run
+        twice."""
+        serial_store = make_store(tmp_path / "serial", scenario)
+        for job, summary in serial_outcomes.items():
+            serial_store.put(job, summary)
+
+        shared = make_store(tmp_path / "shared", scenario)
+        from repro.experiments.executor import run_job
+
+        backends, events = self._run_workers(
+            shared.root, jobs, ("h1", "h2"), run=run_job, pool_jobs=2
+        )
+        assert serial_store.diff_cells(ResultsStore(shared.root)) == []
+        ran = [k for b in backends.values() for k in b.ran_keys]
+        assert sorted(ran) == sorted(job.content_key for job in jobs)
+        for worker_id, worker_events in events.items():
+            assert {e.worker for e in worker_events} == {worker_id}
+            assert {e.job for e in worker_events} == set(jobs)
+        assert ResultsStore(shared.root).claims() == {}
+
+    def test_hybrid_pool_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            DistributedBackend("w1", jobs=0)
 
     def test_worker_reruns_a_torn_cell(self, tmp_path, scenario, jobs):
         store = make_store(tmp_path / "shared", scenario)
