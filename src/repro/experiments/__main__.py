@@ -8,6 +8,11 @@ persistent on-disk store:
     Plan the sweep for a scale, run every cell not already in the store
     (serially or across ``--jobs`` worker processes), and write the assembled
     ``results.json``.  Safe to re-run: completed cells are never recomputed.
+    ``--faults PRESET`` injects a deterministic fault schedule (node churn,
+    partitions, blackouts — see ``repro.sim.faults``) into every cell;
+    ``--trial-timeout`` / ``--retries`` / ``--retry-backoff`` bound each
+    trial with a watchdog and quarantine cells that keep failing instead of
+    aborting the sweep.
 ``resume``
     Continue an interrupted sweep from its store directory alone — the sweep's
     parameters are read back from ``sweep.json``, so no scale flags needed.
@@ -56,25 +61,41 @@ Examples::
 
 (Installed as the ``repro-experiments`` console script, so multi-host workers
 need neither ``python -m`` nor ``PYTHONPATH``.)
+
+Exit codes (``run`` / ``resume`` / ``worker``):
+
+* ``0`` — sweep complete, every cell on disk;
+* ``2`` — usage error (argparse, or a store/flag combination that cannot
+  mean what was asked);
+* ``3`` — the store directory holds a *different* sweep than requested
+  (the CI nightly keys its wipe-and-retry fallback on this code; it must
+  never fire on a usage error);
+* ``4`` — the sweep **completed with quarantined cells**: every runnable
+  cell is on disk, but some cells exhausted their fault policy (crash,
+  hang, repeated error) and hold failure records instead of results.
+  ``status`` lists them; a later ``resume`` retries exactly those cells;
+* ``130`` — interrupted (completed cells are already on disk).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from ..sim.faults import FAULT_PRESETS, fault_preset
 from .distributed import (
     DEFAULT_LEASE_TTL,
     DistributedBackend,
     default_worker_id,
     store_status,
 )
-from .executor import ExecutionProgress, execute_jobs
-from .gate import evaluate_gate, paper_invariants
+from .executor import ExecutionProgress, FaultPolicy, execute_jobs
+from .gate import GATE_REGISTRIES, evaluate_gate, gate_registry
 from .jobs import TrialJob, plan_sweep
 from .paper import (
     EXPERIMENTS,
@@ -109,7 +130,12 @@ def _format_eta(seconds: Optional[float]) -> str:
 
 def _print_progress(event: ExecutionProgress) -> None:
     job = event.job
-    state = "cached" if event.cached else f"{event.elapsed:7.1f}s"
+    if event.failed:
+        state = "FAILED — quarantined"
+    elif event.cached:
+        state = "cached"
+    else:
+        state = f"{event.elapsed:7.1f}s"
     who = f" {event.worker}" if event.worker else ""
     print(
         f"  [{event.completed:>4}/{event.total}]{who} {job.protocol:<5} "
@@ -117,6 +143,60 @@ def _print_progress(event: ExecutionProgress) -> None:
         f"({state}, {_format_eta(event.eta)})",
         flush=True,
     )
+
+
+def _policy_from_args(args: argparse.Namespace) -> FaultPolicy:
+    try:
+        return FaultPolicy(
+            timeout=args.trial_timeout,
+            retries=args.retries,
+            backoff=args.retry_backoff,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _apply_faults(scale, preset: Optional[str]):
+    """The scale with ``--faults PRESET`` folded into its scenario.
+
+    The fault schedule becomes part of every job's scenario — and thus of
+    every content key — so a faulted sweep is a *different* sweep: it never
+    collides with (or silently adopts cells from) a clean store.
+    """
+    if preset is None:
+        return scale
+    scenario = scale.scenario.with_faults(fault_preset(preset, scale.scenario))
+    return dataclasses.replace(scale, scenario=scenario)
+
+
+def _report_quarantined(store: ResultsStore, jobs: Sequence[TrialJob]) -> int:
+    """Warn about planned cells left quarantined; the CLI exit code (0 or 4)."""
+    missing = {job.content_key: job for job in store.missing(jobs)}
+    quarantined = {
+        key: record
+        for key, record in store.failure_records().items()
+        if key in missing
+    }
+    if not quarantined:
+        return 0
+    print(
+        f"WARNING: sweep completed with {len(quarantined)} quarantined "
+        "cell(s) (failure records in failures/):",
+        file=sys.stderr,
+    )
+    for key, record in sorted(quarantined.items()):
+        job = missing.get(key)
+        label = job.cell_label if job is not None else key
+        print(
+            f"  {label}: {record.error} after {record.attempts} attempt(s) "
+            f"— {record.message}",
+            file=sys.stderr,
+        )
+    print(
+        "re-run `resume` against this store to retry quarantined cells",
+        file=sys.stderr,
+    )
+    return 4
 
 
 def _ensure_meta_or_exit(store: ResultsStore, scale, protocols) -> Optional[int]:
@@ -167,6 +247,7 @@ def _execute_and_collect(
     protocols: Sequence[str],
     workers: int,
     quiet: bool,
+    policy: Optional[FaultPolicy] = None,
 ) -> int:
     cached = len(jobs) - len(store.missing(jobs))
     print(
@@ -180,6 +261,7 @@ def _execute_and_collect(
         workers=workers,
         store=store,
         progress=None if quiet else _print_progress,
+        policy=policy,
     )
     elapsed = time.monotonic() - started
     _persist_results(
@@ -189,11 +271,11 @@ def _execute_and_collect(
         f"Sweep complete in {elapsed:.1f} s: {len(outcomes)} cells in "
         f"{store.root} (results.json written)."
     )
-    return 0
+    return _report_quarantined(store, jobs)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    scale = resolve_scale(args.scale, trials=args.trials)
+    scale = _apply_faults(resolve_scale(args.scale, trials=args.trials), args.faults)
     protocols: Sequence[str] = tuple(args.protocols or PAPER_PROTOCOLS)
     store = ResultsStore(args.out)
     code = _ensure_meta_or_exit(store, scale, protocols)
@@ -205,10 +287,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         pause_times=scale.pause_times,
         trials=scale.trials,
     )
+    faulted = f", faults '{args.faults}'" if args.faults else ""
     print(
         f"Sweep '{scale.name}': {scale.scenario.node_count} nodes, "
         f"{len(protocols)} protocols x {len(scale.pause_times)} pause times "
-        f"x {scale.trials} trials = {len(jobs)} simulations -> {store.root}"
+        f"x {scale.trials} trials = {len(jobs)} simulations{faulted} "
+        f"-> {store.root}"
     )
     return _execute_and_collect(
         store,
@@ -218,6 +302,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         protocols=protocols,
         workers=args.jobs,
         quiet=args.quiet,
+        policy=_policy_from_args(args),
     )
 
 
@@ -241,20 +326,23 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         protocols=meta["protocols"],
         workers=args.jobs,
         quiet=args.quiet,
+        policy=_policy_from_args(args),
     )
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
     store = ResultsStore(args.store)
     meta = store.read_meta()
-    if args.scale is None and (args.protocols or args.trials is not None):
+    if args.scale is None and (
+        args.protocols or args.trials is not None or args.faults is not None
+    ):
         # Without --scale the sweep comes verbatim from the store's
         # metadata; silently ignoring these would look like sharding and
         # quietly run the full job list instead.
         print(
-            "error: --protocols/--trials only apply when initialising a "
-            "store with --scale; a joined worker runs the sweep recorded "
-            "in the store",
+            "error: --protocols/--trials/--faults only apply when "
+            "initialising a store with --scale; a joined worker runs the "
+            "sweep recorded in the store",
             file=sys.stderr,
         )
         return 2
@@ -274,13 +362,16 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             lease_ttl=args.lease_ttl,
             poll_interval=args.poll_interval,
             jobs=args.jobs,
+            policy=_policy_from_args(args),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     worker_id = backend.worker_id
     if args.scale is not None:
-        scale = resolve_scale(args.scale, trials=args.trials)
+        scale = _apply_faults(
+            resolve_scale(args.scale, trials=args.trials), args.faults
+        )
         protocols: Sequence[str] = tuple(args.protocols or PAPER_PROTOCOLS)
         code = _ensure_meta_or_exit(store, scale, protocols)
         if code is not None:
@@ -318,7 +409,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         f"({stolen} cached or completed by other workers); sweep complete in "
         f"{store.root} (results.json written)."
     )
-    return 0
+    return _report_quarantined(store, jobs)
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -338,6 +429,15 @@ def _cmd_status(args: argparse.Namespace) -> int:
         print(f"  torn cells (treated as missing): {len(status['torn_cells'])}")
         for key in status["torn_cells"]:
             print(f"    {key}")
+    if status["failed_cells"]:
+        print(f"  quarantined cells: {len(status['failed_cells'])}")
+        for failure in status["failed_cells"]:
+            who = f" on {failure['worker']}" if failure["worker"] else ""
+            print(
+                f"    {failure['label'] or failure['key']}: {failure['error']} "
+                f"after {failure['attempts']} attempt(s){who} — "
+                f"{failure['message']}"
+            )
     for record in status["workers"]:
         print(f"  worker {record['worker']}: {record['completed']} cells completed")
     live = [c for c in status["claims"] if not c["stale"] and not c["orphaned"]]
@@ -377,6 +477,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
             "reporting the completed subset (run `resume` to finish)",
             file=sys.stderr,
         )
+    quarantined = store.failure_keys()
+    if quarantined:
+        print(
+            f"note: {len(quarantined)} cell(s) are quarantined with failure "
+            "records (see `status`; `resume` retries them)",
+            file=sys.stderr,
+        )
     wanted = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for experiment_id in wanted:
         print("=" * 72)
@@ -389,8 +496,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_gate(args: argparse.Namespace) -> int:
+    invariants = gate_registry(args.registry)
     if args.list:
-        for invariant in paper_invariants():
+        for invariant in invariants:
             print(f"{invariant.name:<36} [{invariant.figure}] {invariant.claim}")
         return 0
     if args.out is None:
@@ -417,6 +525,7 @@ def _cmd_gate(args: argparse.Namespace) -> int:
         return 2
     report = evaluate_gate(
         results,
+        invariants,
         scale=meta["scale"],
         store="+".join(s.root.as_posix() for s in stores),
     )
@@ -527,6 +636,44 @@ def build_parser() -> argparse.ArgumentParser:
             "--quiet", action="store_true", help="suppress per-cell progress lines"
         )
 
+    def add_policy_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trial-timeout",
+            type=float,
+            default=None,
+            metavar="S",
+            help="wall-clock watchdog per trial: a cell exceeding it counts "
+            "as hung and is retried/quarantined (default: no watchdog)",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=1,
+            metavar="N",
+            help="re-attempts per failing trial before it is quarantined "
+            "(default: 1)",
+        )
+        p.add_argument(
+            "--retry-backoff",
+            type=float,
+            default=0.5,
+            metavar="S",
+            help="base delay before retry k is backoff * 2**(k-1) seconds "
+            "(default: 0.5)",
+        )
+
+    def add_faults_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--faults",
+            choices=tuple(FAULT_PRESETS),
+            default=None,
+            metavar="PRESET",
+            help="inject this deterministic fault schedule into every cell "
+            f"(choices: {', '.join(FAULT_PRESETS)}; the schedule is part "
+            "of each cell's content key, so a faulted sweep never mixes "
+            "with a clean store)",
+        )
+
     run = sub.add_parser("run", help="plan and run a sweep (reusing stored cells)")
     run.add_argument(
         "--scale",
@@ -546,6 +693,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_store_arg(run)
     add_exec_args(run)
+    add_policy_args(run)
+    add_faults_arg(run)
     run.set_defaults(func=_cmd_run)
 
     resume = sub.add_parser(
@@ -553,6 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_store_arg(resume, required=True)
     add_exec_args(resume)
+    add_policy_args(resume)
     resume.set_defaults(func=_cmd_resume)
 
     worker = sub.add_parser(
@@ -618,6 +768,8 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
+    add_policy_args(worker)
+    add_faults_arg(worker)
     worker.set_defaults(func=_cmd_worker)
 
     status = sub.add_parser(
@@ -690,6 +842,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="print per-pause details for passing invariants too",
+    )
+    gate.add_argument(
+        "--registry",
+        choices=tuple(GATE_REGISTRIES),
+        default="paper",
+        help="invariant registry to assert: 'paper' for the clean-sweep "
+        "claims, 'faults' for the chaos-layer resilience claims "
+        "(default: paper)",
     )
     gate.add_argument(
         "--list",

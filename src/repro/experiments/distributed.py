@@ -40,9 +40,16 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.stats import TrialSummary
-from .executor import CompletionReporter, SweepBackend, run_job
+from .executor import (
+    RUN_HOOK_ENV,
+    CompletionReporter,
+    FaultPolicy,
+    SweepBackend,
+    resolve_run_hook,
+    run_job_guarded,
+)
 from .jobs import TrialJob
-from .store import ResultsStore
+from .store import FailureRecord, ResultsStore
 
 __all__ = [
     "DEFAULT_LEASE_TTL",
@@ -86,6 +93,20 @@ def default_worker_id() -> str:
     return f"{host}-{os.getpid()}"
 
 
+def _guarded_pool_run(
+    job: TrialJob,
+    policy: FaultPolicy,
+    run: Optional[Callable[[TrialJob], TrialSummary]],
+    run_spec: Optional[str],
+) -> Tuple[TrialJob, Optional[TrialSummary], Optional[FailureRecord]]:
+    """Pool-worker wrapper for the hybrid loop: run guarded, tag the outcome
+    (module-level so it pickles; mirrors the executor's ``_pool_run_job``)."""
+    if run is None:
+        run = resolve_run_hook(run_spec)
+    summary, failure = run_job_guarded(job, policy=policy, run=run)
+    return job, summary, failure
+
+
 class DistributedBackend(SweepBackend):
     """Run jobs cooperatively with other workers against one shared store.
 
@@ -107,7 +128,8 @@ class DistributedBackend(SweepBackend):
         jobs: int = 1,
         clock: Callable[[], float] = time.time,
         sleep: Callable[[float], None] = time.sleep,
-        run: Callable[[TrialJob], TrialSummary] = run_job,
+        run: Optional[Callable[[TrialJob], TrialSummary]] = None,
+        policy: Optional[FaultPolicy] = None,
     ) -> None:
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
@@ -129,8 +151,16 @@ class DistributedBackend(SweepBackend):
         self.heartbeat_interval = heartbeat_interval or max(lease_ttl / 4.0, 0.05)
         self.clock = clock
         self.sleep = sleep
+        #: Trial function override; ``None`` defers to the ``REPRO_RUN_HOOK``
+        #: resolution (captured below for the pooled path's workers).
         self.run = run
+        self.policy = policy if policy is not None else FaultPolicy()
+        self._run_spec = os.environ.get(RUN_HOOK_ENV)
         self._claim_count = 0
+        #: wall-clock start of the current run_pending pass; quarantine
+        #: records at least this fresh (minus a lease TTL of slack) are
+        #: adopted as settled instead of retried.
+        self._started = 0.0
         #: content keys of cells this worker ran itself (provenance record).
         self.ran_keys: List[str] = []
 
@@ -191,15 +221,40 @@ class DistributedBackend(SweepBackend):
 
     def _run_leased(
         self, store: ResultsStore, job: TrialJob
-    ) -> TrialSummary:
-        """Run the claimed job under a heartbeat so the lease stays live for
-        however long the simulation takes."""
+    ) -> Tuple[Optional[TrialSummary], Optional[FailureRecord]]:
+        """Run the claimed job guarded, under a heartbeat so the lease stays
+        live for however long the simulation (and any retries) takes."""
         stop, heartbeat = self._start_heartbeat(store, job.content_key)
         try:
-            return self.run(job)
+            return run_job_guarded(
+                job,
+                policy=self.policy,
+                run=self.run if self.run is not None else resolve_run_hook(),
+                worker=self.worker_id,
+                sleep=self.sleep,
+                clock=self.clock,
+            )
         finally:
             stop.set()
             heartbeat.join()
+
+    def _adopt_failure(
+        self, store: ResultsStore, job: TrialJob, report: CompletionReporter
+    ) -> bool:
+        """Adopt another worker's *fresh* quarantine of this cell as settled.
+
+        A record written within this pass (with a lease TTL of clock slack)
+        means a peer just exhausted the fault policy on the cell — re-running
+        it here would likely fail the same way and would double-count the
+        failure.  Older records are from a previous run: ``resume`` semantics
+        say retry those, so they are ignored and the cell is claimed anew
+        (a success then clears the record via ``store.put``).
+        """
+        record = store.get_failure(job.content_key)
+        if record is None or record.recorded_at < self._started - self.lease_ttl:
+            return False
+        report(job, cached=False, worker=self.worker_id, failed=True)
+        return True
 
     def _adopt_or_acquire(self, store, job):
         """One cell's claim step, shared by the serial and pooled loops.
@@ -256,6 +311,7 @@ class DistributedBackend(SweepBackend):
                 "DistributedBackend coordinates through the store; "
                 "execute_jobs(..., store=...) is required"
             )
+        self._started = self.clock()
         if self.jobs > 1:
             return self._run_pending_pooled(jobs, store=store, report=report)
         outcomes: Dict[TrialJob, TrialSummary] = {}
@@ -279,19 +335,34 @@ class DistributedBackend(SweepBackend):
                 job = remaining.get(key)
                 if job is None:
                     continue
+                if self._adopt_failure(store, job, report):
+                    del remaining[key]
+                    progressed = True
+                    continue
                 takeover = self._adopt_or_acquire(store, job)
                 if takeover is None:
                     continue
                 state, summary = takeover
                 if state == "acquired":
                     try:
-                        summary = self._run_leased(store, job)
+                        summary, failure = self._run_leased(store, job)
                         # Publish before releasing: other workers re-check
                         # under a freshly-acquired lease and trust that a
-                        # released cell is settled on disk.
-                        store.put(job, summary)
+                        # released cell is settled on disk.  A quarantined
+                        # cell is settled too — its failure record lands
+                        # before the lease goes, so the release never
+                        # re-opens the cell to the fleet unrecorded.
+                        if summary is not None:
+                            store.put(job, summary)
+                        elif failure is not None:
+                            store.put_failure(failure)
                     finally:
                         store.release_claim(key, self.worker_id)
+                    if summary is None:
+                        del remaining[key]
+                        report(job, cached=False, worker=self.worker_id, failed=True)
+                        progressed = True
+                        continue
                     self.ran_keys.append(key)
                 outcomes[job] = summary
                 del remaining[key]
@@ -343,16 +414,23 @@ class DistributedBackend(SweepBackend):
             stop.set()
             heartbeat.join()
             try:
-                summary = future.result()
+                _, summary, failure = future.result()
                 # Publish before releasing, exactly like the serial loop:
                 # other workers re-check under a freshly-acquired lease and
-                # trust that a released cell is settled on disk.
-                store.put(job, summary)
+                # trust that a released cell is settled on disk — completed
+                # or quarantined, never silently re-opened.
+                if summary is not None:
+                    store.put(job, summary)
+                elif failure is not None:
+                    store.put_failure(failure)
             finally:
                 store.release_claim(key, self.worker_id)
+            remaining.pop(key, None)
+            if summary is None:
+                report(job, cached=False, worker=self.worker_id, failed=True)
+                return
             self.ran_keys.append(key)
             outcomes[job] = summary
-            remaining.pop(key, None)
             report(job, cached=False, worker=self.worker_id)
 
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
@@ -367,6 +445,10 @@ class DistributedBackend(SweepBackend):
                         job = remaining.get(key)
                         if job is None or key in busy_keys:
                             continue
+                        if self._adopt_failure(store, job, report):
+                            del remaining[key]
+                            progressed = True
+                            continue
                         if len(in_flight) >= self.jobs:
                             # Pool full: only adopt cells already on disk.
                             summary = store.get(job)
@@ -380,7 +462,13 @@ class DistributedBackend(SweepBackend):
                         state, summary = takeover
                         if state == "acquired":
                             stop, heartbeat = self._start_heartbeat(store, key)
-                            future = pool.submit(self.run, job)
+                            future = pool.submit(
+                                _guarded_pool_run,
+                                job,
+                                self.policy,
+                                self.run,
+                                self._run_spec,
+                            )
                             in_flight[future] = (key, job, stop, heartbeat)
                             busy_keys.add(key)
                             progressed = True
@@ -437,6 +525,20 @@ def store_status(
     planned = {job.content_key: job for job in jobs}
     completed = sum(1 for job in jobs if store.get(job) is not None)
 
+    failures = []
+    for key, record in store.failure_records().items():
+        job = planned.get(key)
+        failures.append(
+            {
+                "key": key,
+                "error": record.error,
+                "message": record.message,
+                "attempts": record.attempts,
+                "worker": record.worker,
+                "label": job.cell_label if job is not None else None,
+            }
+        )
+
     claims = []
     for key, claim in sorted(store.claims().items()):
         heartbeat = claim.get("heartbeat", claim.get("claimed_at"))
@@ -472,6 +574,7 @@ def store_status(
         "planned_cells": len(jobs),
         "completed_cells": completed,
         "torn_cells": store.torn_keys(),
+        "failed_cells": failures,
         "claims": claims,
         "workers": workers,
     }

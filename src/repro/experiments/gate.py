@@ -46,7 +46,10 @@ __all__ = [
     "Invariant",
     "InvariantOutcome",
     "OrderingInvariant",
+    "RecoveryInvariant",
     "evaluate_gate",
+    "fault_invariants",
+    "gate_registry",
     "paper_invariants",
 ]
 
@@ -306,6 +309,64 @@ class ExactInvariant(Invariant):
         )
 
 
+@dataclass(frozen=True, slots=True, kw_only=True)
+class RecoveryInvariant(Invariant):
+    """After the last fault heals, delivery recovers: the post-heal delivery
+    ratio is no worse than the during-fault ratio minus ``tolerance``.
+
+    Evaluated per (protocol, pause, trial) cell on the resilience counters a
+    faulted scenario records (:mod:`repro.sim.faults`).  Cells with no
+    fault-phase traffic — fault-free sweeps, or fault windows that happened
+    to carry no offered load — count as inconclusive, never as a pass: the
+    invariant only vouches for recoveries it has actually observed.
+    """
+
+    protocols: Tuple[str, ...]
+    tolerance: float = 0.10
+
+    def evaluate(self, results: SweepResults) -> InvariantOutcome:
+        violations: List[str] = []
+        observed = 0
+        skipped = 0
+        expected = len(self.protocols) * len(results.pause_times) * results.trials
+        for protocol in self.protocols:
+            for pause in results.pause_times:
+                for trial in range(results.trials):
+                    summary = results.summaries.get((protocol, pause, trial))
+                    if summary is None:
+                        continue
+                    if (
+                        summary.data_sent_during_fault == 0
+                        or summary.data_sent_post_fault == 0
+                    ):
+                        skipped += 1
+                        continue
+                    observed += 1
+                    during = summary.delivery_ratio_during_fault
+                    post = summary.delivery_ratio_post_fault
+                    if post + self.tolerance < during:
+                        violations.append(
+                            f"{protocol} pause {pause:g} trial {trial}: "
+                            f"post-heal delivery {post:.3f} below during-fault "
+                            f"{during:.3f} - {self.tolerance:g} — no recovery"
+                        )
+        if violations:
+            return self._outcome([FAIL], violations)
+        if observed == 0:
+            return self._outcome(
+                [INCONCLUSIVE],
+                ["no cells with fault-phase traffic (fault-free sweep?)"],
+            )
+        details = [f"{observed} cells recovered within tolerance"]
+        if skipped or observed + skipped < expected:
+            details.append(
+                f"{skipped} cells without fault-phase traffic, "
+                f"{expected - observed - skipped} cells missing"
+            )
+            return self._outcome([INCONCLUSIVE], details)
+        return self._outcome([PASS], details)
+
+
 def paper_invariants() -> Tuple[Invariant, ...]:
     """The registered paper-derived invariants, in report order.
 
@@ -443,6 +504,92 @@ def paper_invariants() -> Tuple[Invariant, ...]:
         ]
     )
     return tuple(invariants)
+
+
+def fault_invariants() -> Tuple[Invariant, ...]:
+    """Invariants asserted over *faulted* sweeps (``--faults PRESET`` runs).
+
+    The chaos layer's science: protocols must survive injected node churn,
+    blackouts and partitions — delivery recovers once the faults heal, the
+    resilience counters stay physical, and SRP's headline property (no
+    sequence numbers, Fig. 7 / Definition 7) holds even across crash/recover
+    cycles, where a lesser design would be forced to bump a stored counter.
+    """
+    all_protocols = ("SRP", "LDR", "AODV", "DSR", "OLSR")
+    return (
+        RecoveryInvariant(
+            name="post-heal-delivery-recovers",
+            figure="chaos / Fig. 4",
+            claim="Once the last injected fault heals, every protocol's "
+            "delivery ratio recovers to at least its during-fault level "
+            "(within 10 percentage points)",
+            protocols=all_protocols,
+            tolerance=0.10,
+        ),
+        ExactInvariant(
+            name="srp-seqno-zero-under-churn",
+            figure="chaos / Fig. 7",
+            claim="SRP's average node sequence number stays identically 0 "
+            "even when nodes crash and recover mid-trial (Definition 7: "
+            "recovery re-floors the ordering, never a counter bump)",
+            metric="sequence_number",
+            protocol="SRP",
+        ),
+        BoundInvariant(
+            name="fault-delivery-ratios-in-unit-interval",
+            figure="chaos",
+            claim="During-fault delivery ratios are fractions in [0, 1]",
+            metric="delivery_during_fault",
+            protocols=all_protocols,
+            lower=0.0,
+            upper=1.0,
+        ),
+        BoundInvariant(
+            name="post-fault-delivery-ratios-in-unit-interval",
+            figure="chaos",
+            claim="Post-heal delivery ratios are fractions in [0, 1]",
+            metric="delivery_post_fault",
+            protocols=all_protocols,
+            lower=0.0,
+            upper=1.0,
+        ),
+        BoundInvariant(
+            name="route-recovery-time-physical",
+            figure="chaos",
+            claim="Route-recovery time is -1 (no post-heal delivery) or a "
+            "nonnegative latency measured from the heal instant",
+            metric="route_recovery_time",
+            protocols=all_protocols,
+            lower=-1.0,
+        ),
+        BoundInvariant(
+            name="heal-control-burst-nonnegative",
+            figure="chaos",
+            claim="The control-packet burst counted in the post-heal window "
+            "is a nonnegative count",
+            metric="heal_control_burst",
+            protocols=all_protocols,
+            lower=0.0,
+        ),
+    )
+
+
+#: Named invariant registries the CLI can assert (``gate --registry``).
+GATE_REGISTRIES = {
+    "paper": paper_invariants,
+    "faults": fault_invariants,
+}
+
+
+def gate_registry(name: str) -> Tuple[Invariant, ...]:
+    """The registry called ``name`` (``paper`` or ``faults``)."""
+    try:
+        return GATE_REGISTRIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown gate registry {name!r}; expected one of "
+            f"{sorted(GATE_REGISTRIES)}"
+        ) from None
 
 
 @dataclass

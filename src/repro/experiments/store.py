@@ -20,6 +20,13 @@ so exactly one claimant wins; refreshed by heartbeat; reclaimed once stale), and
 files never mention the worker that wrote them, so N workers converge on a
 store byte-identical to a serial run's.
 
+Since the fault boundary (PR 6), a store also quarantines cells that
+repeatedly fail to run: ``failures/<key>.json`` holds a structured
+:class:`FailureRecord` describing what went wrong (exception, watchdog
+timeout, worker crash), so a sweep *completes* around a poisoned cell instead
+of dying on it.  A successful :meth:`put` for the key clears the quarantine —
+re-running the sweep retries exactly the failed cells.
+
 Layout::
 
     <root>/
@@ -28,6 +35,7 @@ Layout::
         jobs/<key>.json    {"version", "job": {...}, "summary": {...}} per cell
         claims/<key>.lease {"worker", "claimed_at", "heartbeat", ...} in-flight
         workers/<id>.json  {"worker", "completed": [keys], "updated"} provenance
+        failures/<key>.json {"version", "failure": {...}} quarantined cells
 """
 
 from __future__ import annotations
@@ -36,12 +44,14 @@ import json
 import os
 import uuid
 import warnings
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
     Any,
     Dict,
     List,
+    Mapping,
     Optional,
     Sequence,
     Set,
@@ -53,9 +63,39 @@ from .jobs import TrialJob, plan_sweep
 if TYPE_CHECKING:  # import cycle guard: runner -> executor -> store
     from .runner import SweepResults
 
-__all__ = ["ResultsStore", "TornCellWarning"]
+__all__ = ["FailureRecord", "ResultsStore", "TornCellWarning"]
 
 STORE_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class FailureRecord:
+    """Why one trial cell could not be completed (quarantine document).
+
+    Produced by the executor's fault boundary after retries are exhausted and
+    persisted under ``failures/<key>.json``; ``status``/``report`` surface
+    these, and a later successful run of the cell clears the record.
+    """
+
+    key: str  #: the job's content key
+    error: str  #: exception class name ("TrialHang", "MemoryError", ...)
+    message: str  #: stringified exception, truncated
+    attempts: int  #: how many times the cell was tried before quarantine
+    cell: Dict[str, Any] = field(default_factory=dict)  #: human-readable cell id
+    worker: Optional[str] = None  #: reporting worker (distributed runs)
+    elapsed: float = 0.0  #: wall-clock seconds spent across all attempts
+    recorded_at: float = 0.0  #: wall-clock timestamp of the quarantine
+    traceback: str = ""  #: tail of the formatted traceback, for debugging
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict of every field."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FailureRecord":
+        """Rebuild a record written by :meth:`to_dict` (unknown keys ignored)."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{name: data[name] for name in names if name in data})
 
 
 class TornCellWarning(UserWarning):
@@ -90,6 +130,7 @@ class ResultsStore:
         self.jobs_dir = self.root / "jobs"
         self.claims_dir = self.root / "claims"
         self.workers_dir = self.root / "workers"
+        self.failures_dir = self.root / "failures"
         self.meta_path = self.root / "sweep.json"
         self.results_path = self.root / "results.json"
         # Key-set cache: the cell directory is scanned once per instance, not
@@ -119,6 +160,8 @@ class ResultsStore:
         if self._key_cache is not None:
             self._key_cache.add(job.content_key)
         self._torn.discard(job.content_key)
+        # Success supersedes quarantine: a completed cell is not failed.
+        self.clear_failure(job.content_key)
 
     def get(self, job: TrialJob) -> Optional[TrialSummary]:
         """The stored summary for ``job``, or ``None`` if the cell is missing.
@@ -196,6 +239,54 @@ class ResultsStore:
     def torn_keys(self) -> List[str]:
         """Keys of cells found torn (unparsable) so far, by this instance."""
         return sorted(self._torn)
+
+    # -- quarantined cells -------------------------------------------------------------
+
+    def _failure_path(self, key: str) -> Path:
+        return self.failures_dir / f"{key}.json"
+
+    def put_failure(self, record: FailureRecord) -> None:
+        """Quarantine a cell: persist why it could not be completed (atomic)."""
+        self.failures_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(
+            self._failure_path(record.key),
+            {"version": STORE_VERSION, "failure": record.to_dict()},
+        )
+
+    def get_failure(self, key: str) -> Optional[FailureRecord]:
+        """The quarantine record for ``key``, or ``None`` (torn = missing)."""
+        try:
+            data = json.loads(self._failure_path(key).read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(data, dict) or not isinstance(data.get("failure"), dict):
+            return None
+        try:
+            return FailureRecord.from_dict(data["failure"])
+        except TypeError:
+            return None
+
+    def clear_failure(self, key: str) -> None:
+        """Remove ``key``'s quarantine record, if any."""
+        try:
+            self._failure_path(key).unlink()
+        except FileNotFoundError:
+            pass
+
+    def failure_keys(self) -> List[str]:
+        """Content keys of every quarantined cell, sorted."""
+        return sorted(p.stem for p in self.failures_dir.glob("*.json"))
+
+    def failure_records(self) -> Dict[str, FailureRecord]:
+        """``{content key: record}`` for every readable quarantine document."""
+        records: Dict[str, FailureRecord] = {}
+        for key in self.failure_keys():
+            record = self.get_failure(key)
+            if record is not None:
+                records[key] = record
+        return records
 
     # -- sweep-level metadata ----------------------------------------------------------
 

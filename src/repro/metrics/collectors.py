@@ -25,6 +25,11 @@ METRIC_EXTRACTORS: Dict[str, Callable[[TrialSummary], float]] = {
     "mac_drops": lambda s: s.mac_drops_per_node,
     # Fig. 7
     "sequence_number": lambda s: s.average_sequence_number,
+    # Resilience metrics (repro.sim.faults; zero / -1 in fault-free trials)
+    "delivery_during_fault": lambda s: s.delivery_ratio_during_fault,
+    "delivery_post_fault": lambda s: s.delivery_ratio_post_fault,
+    "route_recovery_time": lambda s: s.route_recovery_time,
+    "heal_control_burst": lambda s: float(s.control_burst_on_heal),
 }
 
 

@@ -130,6 +130,18 @@ class AodvProtocol(RoutingProtocol):
             if entry.valid and entry.expires_at <= now:
                 entry.valid = False
 
+    def on_node_down(self) -> None:
+        """Crash: routes, RREQ dedup state and buffered data are volatile.
+
+        The node's own sequence number is durable (RFC 3561 §6.1 requires it
+        to survive reboots to keep loop freedom), so it is kept.
+        """
+        self.routes.clear()
+        self.seen_rreqs.clear()
+        self.buffer = PacketBuffer(max_per_destination=self.config.buffer_size)
+        if self.discovery is not None:
+            self.discovery.abandon_all()
+
     # -- table helpers ------------------------------------------------------------
 
     def _entry(self, destination: NodeId) -> AodvRouteEntry:

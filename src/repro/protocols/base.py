@@ -91,6 +91,19 @@ class RoutingProtocol(abc.ABC):
     def finalize(self) -> None:
         """Hook called at simulation end, before statistics are rolled up."""
 
+    def on_node_down(self) -> None:
+        """Fault injection: the node crashed (power loss).
+
+        Implementations should forget volatile state — routing tables,
+        request caches, buffered data — as a real reboot would, but keep
+        durable counters (a node's own sequence number survives in
+        non-volatile storage in every protocol modelled here, which keeps
+        Fig. 7's metric monotone under churn).  Default: no-op.
+        """
+
+    def on_node_up(self) -> None:
+        """Fault injection: the node rebooted; re-establish initial state."""
+
     # -- required behaviour ------------------------------------------------------------
 
     @abc.abstractmethod

@@ -249,3 +249,15 @@ class DiscoveryController:
         state = self._active.pop(destination, None)
         if state is not None and state.timer is not None:
             state.timer.cancel()
+
+    def abandon_all(self) -> None:
+        """Drop every outstanding discovery without invoking ``give_up``.
+
+        Used by the fault layer when a node crashes: the in-flight
+        computations die with the node (their retry timers are cancelled so
+        a rebooted node does not resurrect pre-crash solicitations).
+        """
+        for state in self._active.values():
+            if state.timer is not None:
+                state.timer.cancel()
+        self._active.clear()

@@ -118,6 +118,16 @@ class DsrProtocol(RoutingProtocol):
             max_attempts=self.config.max_discovery_attempts,
         )
 
+    def on_node_down(self) -> None:
+        """Crash: the route cache, dedup state and buffers are all volatile
+        (DSR keeps no durable per-node counters at all)."""
+        self.route_cache.clear()
+        self.seen_rreqs.clear()
+        self.salvage_counts.clear()
+        self.buffer = PacketBuffer(max_per_destination=self.config.buffer_size)
+        if self.discovery is not None:
+            self.discovery.abandon_all()
+
     # -- route cache -------------------------------------------------------------------
 
     def cache_route(self, route: Tuple[NodeId, ...]) -> None:

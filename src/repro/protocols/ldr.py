@@ -142,6 +142,16 @@ class LdrProtocol(RoutingProtocol):
             if entry.valid and entry.expires_at <= now:
                 entry.valid = False
 
+    def on_node_down(self) -> None:
+        """Crash: routes, reverse paths and buffers are volatile; the own
+        sequence number is durable (LDR inherits AODV's reboot rule)."""
+        self.routes.clear()
+        self.seen_rreqs.clear()
+        self.reverse_path.clear()
+        self.buffer = PacketBuffer(max_per_destination=self.config.buffer_size)
+        if self.discovery is not None:
+            self.discovery.abandon_all()
+
     # -- table helpers -------------------------------------------------------------
 
     def _entry(self, destination: NodeId) -> LdrRouteEntry:

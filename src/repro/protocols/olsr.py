@@ -137,6 +137,21 @@ class OlsrProtocol(RoutingProtocol):
             self.make_control_packet(self.node_id, tc, CONTROL_SIZES["tc"])
         )
 
+    def on_node_down(self) -> None:
+        """Crash: all link-state knowledge is volatile.
+
+        The TC sequence number is kept monotone across the reboot so
+        neighbours' ``seen_tcs`` dedup state never silently discards the
+        rebooted node's fresh topology advertisements.
+        """
+        self.neighbors.clear()
+        self.topology.clear()
+        self.routing_table.clear()
+        self.seen_tcs.clear()
+        self._routes_dirty = True
+        self._routes_valid_until = -_NEVER
+        self._routes_computed_at = -_NEVER
+
     def _route_maintenance(self, now: float) -> None:
         if not self.config.incremental_routes or self._routes_dirty:
             self._recompute_routes()

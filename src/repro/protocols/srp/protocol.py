@@ -125,6 +125,26 @@ class SrpProtocol(RoutingProtocol):
         if newly_invalid:
             self._send_rerr(newly_invalid)
 
+    def on_node_down(self) -> None:
+        """Crash: volatile state dies; the own sequence number survives.
+
+        Definition 7's labels live in the routing table, which a power loss
+        wipes; the destination-controlled sequence number is durable (the
+        paper equates it with a clock), so churn alone never advances Fig. 7's
+        SRP-is-zero metric.
+        """
+        self.table = SrpRoutingTable(route_lifetime=self.config.route_lifetime)
+        self.rreq_cache = RreqCache(max_age=DELETE_PERIOD)
+        self.buffer = PacketBuffer(max_per_destination=self.config.buffer_size)
+        if self.discovery is not None:
+            self.discovery.abandon_all()
+
+    def on_node_up(self) -> None:
+        """Reboot: restore the node's own ordering (Definition 7)."""
+        self.table.set_own_ordering(
+            self.node_id, self._self_ordering(), self.simulator.now
+        )
+
     # -- own ordering helpers --------------------------------------------------------
 
     def own_ordering(self, destination: NodeId) -> Ordering:

@@ -121,6 +121,8 @@ class ChannelStats:
     receptions_started: int = 0
     receptions_delivered: int = 0
     collisions: int = 0
+    #: Receptions suppressed by the fault layer (blackout/partition/crash/loss).
+    fault_suppressed: int = 0
 
 
 class Channel:
@@ -211,6 +213,10 @@ class Channel:
         # per cache miss.  See repro.sim.mobility.Segment.
         self._segment_providers: Dict[NodeId, Callable[[float], object]] = {}
         self._segment_cache: Dict[NodeId, tuple] = {}
+        # Fault-injection state (repro.sim.faults.ChannelFaults), installed
+        # only when the scenario declares faults; None keeps the reception
+        # loop on its original instruction sequence (bit-identity contract).
+        self._faults = None
         self.stats = ChannelStats()
 
     # -- membership -------------------------------------------------------------
@@ -244,6 +250,16 @@ class Channel:
         """
         self._segment_providers[node_id] = provider
         self._segment_cache.pop(node_id, None)
+
+    def install_faults(self, faults) -> None:
+        """Attach the trial's :class:`~repro.sim.faults.ChannelFaults` state.
+
+        Once installed, every candidate reception consults
+        ``faults.blocked(...)`` — an O(active faults) check that suppresses
+        the reception entirely (no collision, no busy-cache seeding, no
+        delivery) when a fault window covers the link.
+        """
+        self._faults = faults
 
     @property
     def phy(self) -> PhyConfig:
@@ -588,7 +604,16 @@ class Channel:
             and self._max_node_speed * duration <= self._cs_margin
         )
         busy_until = self._busy_until
+        faults = self._faults
+        position_of = self._position_of
         for receiver_id in self._reception_set(transmitter):
+            if faults is not None and faults.blocked(
+                transmitter, receiver_id, position_of
+            ):
+                # The frame never reaches this radio: no reception record,
+                # no collision, no busy-cache certification.
+                stats.fault_suppressed += 1
+                continue
             if pool:
                 reception = pool.pop()
                 reception.frame = frame
@@ -624,6 +649,12 @@ class Channel:
             target = frame.receiver
             collisions = 0
             delivered = 0
+            # Re-read the fault state: a node that crashed *during* the air
+            # time loses the frame (and the sender's idealised ACK with it).
+            down = None
+            current_faults = self._faults
+            if current_faults is not None and current_faults.down:
+                down = current_faults.down
             for reception in receptions:
                 receiver = reception.receiver
                 # Every reception was appended in the loop above and is only
@@ -631,6 +662,9 @@ class Channel:
                 active_receptions[receiver].remove(reception)
                 if reception.collided:
                     collisions += 1
+                    continue
+                if down is not None and receiver in down:
+                    stats.fault_suppressed += 1
                     continue
                 delivered += 1
                 radio_receive[receiver](frame, transmitter)

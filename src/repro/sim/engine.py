@@ -82,7 +82,10 @@ class Simulator:
     The simulator is deliberately free of domain knowledge; the wireless
     channel, nodes and protocols schedule plain callbacks.  ``priority`` lets
     same-instant events order deterministically (lower runs first), which keeps
-    trials reproducible under a fixed seed.
+    trials reproducible under a fixed seed.  The repo's convention: ``-1``
+    fault-schedule flips (:mod:`repro.sim.faults` — a node crashing at *t*
+    must be down before any frame sent at *t*), ``0`` ordinary traffic and
+    timers, ``1`` channel-transmission finishes, ``2`` MAC proceed steps.
 
     ``now`` is a plain attribute (read it, never assign it): the property
     protocol is measurably slower at millions of reads per trial.

@@ -47,6 +47,10 @@ class MacStats:
     queue_drops: int = 0
     retry_drops: int = 0
     retries: int = 0
+    #: Frames lost to a node crash (fault injection): queued frames dropped at
+    #: power-down plus sends attempted while down.  Counted separately so
+    #: Fig. 3's congestion-driven drop metric is not polluted by faults.
+    fault_drops: int = 0
 
     @property
     def drops(self) -> int:
@@ -103,6 +107,13 @@ class Mac:
         self._queue: Deque[Frame] = deque()
         self._busy = False
         self._transmitting_until = 0.0
+        # Fault-injection lifecycle.  `_epoch` increments at every power-down;
+        # deferred backoff/retry closures capture the epoch they were created
+        # in and abort on mismatch, so a rebooted MAC never executes a stale
+        # continuation against a dropped frame.  Without faults the epoch is
+        # constant and every guard is a no-op (no RNG draw, no event change).
+        self._down = False
+        self._epoch = 0
         self._receive_handler: Optional[ReceiveHandler] = None
         self._failure_handler: Optional[FailureHandler] = None
         self.stats = MacStats()
@@ -129,6 +140,8 @@ class Mac:
 
     def radio_receive(self, frame: Frame, transmitter: NodeId) -> None:
         """Called by the channel for each successfully decoded frame."""
+        if self._down:
+            return
         receiver = frame.receiver
         if receiver is BROADCAST or receiver == self.node_id:
             if self._receive_handler is not None:
@@ -136,8 +149,31 @@ class Mac:
 
     # -- transmit path -----------------------------------------------------------------
 
+    def power_down(self) -> None:
+        """Fault injection: the node crashes.
+
+        Queued frames are lost (counted as ``fault_drops``, not Fig. 3
+        drops), the radio stops mid-transmission, and every outstanding
+        backoff/retry continuation is invalidated via the epoch bump.
+        """
+        if self._down:
+            return
+        self._down = True
+        self._epoch += 1
+        self.stats.fault_drops += len(self._queue)
+        self._queue.clear()
+        self._busy = False
+        self._transmitting_until = 0.0
+
+    def power_up(self) -> None:
+        """Fault injection: the node reboots with an empty interface queue."""
+        self._down = False
+
     def send(self, packet: Packet, next_hop: Optional[NodeId]) -> None:
         """Queue ``packet`` for transmission to ``next_hop`` (``None`` = broadcast)."""
+        if self._down:
+            self.stats.fault_drops += 1
+            return
         if len(self._queue) >= self._phy.max_queue_length:
             self.stats.queue_drops += 1
             return
@@ -169,7 +205,9 @@ class Mac:
         frame = self._queue[0]
         self._attempt(frame, attempt=0)
 
-    def _attempt(self, frame: Frame, attempt: int) -> None:
+    def _attempt(self, frame: Frame, attempt: int, epoch: Optional[int] = None) -> None:
+        if epoch is not None and epoch != self._epoch:
+            return
         if self._use_fast_backoff:
             self._fast_attempt(frame, attempt)
             return
@@ -179,8 +217,10 @@ class Mac:
         # Random pre-transmission jitter breaks synchronisation of broadcast
         # floods (every node relaying the same RREQ at the same instant).
         jitter_slots = self._randint(0, self._windows[attempt])
+        epoch_now = self._epoch
         self._call_in(
-            jitter_slots * self._slot_time, lambda: self._transmit(frame, attempt)
+            jitter_slots * self._slot_time,
+            lambda: self._transmit(frame, attempt, epoch_now),
         )
 
     def _fast_attempt(self, frame: Frame, attempt: int) -> None:
@@ -204,6 +244,7 @@ class Mac:
         * ``_randbelow(n)`` = ``getrandbits(n.bit_length())`` redrawn while
           ``>= n``
         """
+        epoch = self._epoch
         window = self._windows[attempt]
         defer_bits = window.bit_length()
         jitter_n = window + 1
@@ -222,6 +263,8 @@ class Mac:
         heappush = _heappush
 
         def poll() -> None:
+            if self._epoch != epoch:
+                return
             now = simulator.now
             if now < busy_until(node_id, 0.0) or is_busy_near(node_id):
                 r = getrandbits(defer_bits)
@@ -237,6 +280,8 @@ class Mac:
                 heappush(heap, (r * slot + now, 0, next_sequence(), fire))
 
         def fire() -> None:
+            if self._epoch != epoch:
+                return
             now = simulator.now
             if now < busy_until(node_id, 0.0) or is_busy_near(node_id):
                 r = getrandbits(defer_bits)
@@ -252,11 +297,17 @@ class Mac:
 
     def _defer(self, frame: Frame, attempt: int) -> None:
         backoff_slots = self._randint(1, self._windows[attempt])
+        epoch_now = self._epoch
         self._call_in(
-            backoff_slots * self._slot_time, lambda: self._attempt(frame, attempt)
+            backoff_slots * self._slot_time,
+            lambda: self._attempt(frame, attempt, epoch_now),
         )
 
-    def _transmit(self, frame: Frame, attempt: int) -> None:
+    def _transmit(
+        self, frame: Frame, attempt: int, epoch: Optional[int] = None
+    ) -> None:
+        if epoch is not None and epoch != self._epoch:
+            return
         if self._channel.is_busy_near(self.node_id):
             self._defer(frame, attempt)
             return
@@ -276,7 +327,14 @@ class Mac:
             self._finish_frame()
             return
 
+        epoch = self._epoch
+
         def on_complete(success: bool) -> None:
+            if self._epoch != epoch:
+                # The node crashed while the frame was on the air: the
+                # power-down already reset the queue and busy state, and the
+                # retry chain must not resurrect the abandoned frame.
+                return
             if success:
                 self.stats.delivered_unicasts += 1
                 self._finish_frame()
@@ -292,8 +350,11 @@ class Mac:
 
     def _finish_frame(self) -> None:
         """The head-of-line frame is done (delivered, dropped, or broadcast)."""
+        epoch = self._epoch
 
         def proceed() -> None:
+            if self._epoch != epoch:
+                return
             if self._queue:
                 frame = self._queue.popleft()
                 if self._use_frame_pool:

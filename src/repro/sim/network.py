@@ -14,6 +14,7 @@ from typing import Callable, Dict, Hashable, Optional, TYPE_CHECKING
 
 from .channel import Channel
 from .engine import Simulator
+from .faults import FaultSchedule
 from .mac import Mac
 from .mobility import RandomWaypointMobility, StaticMobility
 from .node import Node
@@ -137,6 +138,20 @@ def build_network(
             # segments instead of calling through mac -> node -> mobility
             # on every position-cache miss.
             channel.register_segment_provider(node_id, mobility.segment_for)
+
+    if scenario.faults:
+        # Compile the declarative fault plan into simulator events now, before
+        # any traffic is scheduled, so the fault flips hold the earliest
+        # sequence numbers and the whole trial remains a pure function of the
+        # scenario.  Fault-free scenarios never construct any of this and the
+        # hot paths stay on their original instruction sequence.
+        schedule = FaultSchedule(scenario.faults)
+        schedule.install(simulator, channel, nodes, rng=streams.get("faults"))
+        stats.configure_faults(
+            schedule.activity_windows(),
+            heal_time=schedule.heal_time(),
+            burst_window=min(10.0, 0.2 * scenario.duration),
+        )
 
     traffic = None
     if with_traffic and scenario.flow_count > 0:

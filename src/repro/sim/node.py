@@ -43,6 +43,9 @@ class Node:
         self.mac = mac
         self.stats = stats
         self.protocol: Optional["RoutingProtocol"] = None
+        # Fault-injection lifecycle flag; while down the node neither
+        # originates traffic nor transmits (see go_down/go_up).
+        self.is_down = False
 
     # -- wiring -----------------------------------------------------------------------
 
@@ -51,6 +54,31 @@ class Node:
         self.protocol = protocol
         protocol.attach(self)
         self.mac.set_handlers(protocol.handle_packet, protocol.handle_link_failure)
+
+    # -- fault lifecycle ---------------------------------------------------------------
+
+    def go_down(self) -> None:
+        """Fault injection: crash the node.
+
+        The MAC drops its queue and invalidates in-flight continuations, and
+        the routing protocol is told to forget its volatile state — the
+        semantics of a power loss, not a graceful shutdown.
+        """
+        if self.is_down:
+            return
+        self.is_down = True
+        self.mac.power_down()
+        if self.protocol is not None:
+            self.protocol.on_node_down()
+
+    def go_up(self) -> None:
+        """Fault injection: reboot the node with empty tables and queues."""
+        if not self.is_down:
+            return
+        self.is_down = False
+        self.mac.power_up()
+        if self.protocol is not None:
+            self.protocol.on_node_up()
 
     # -- geometry ----------------------------------------------------------------------
 
@@ -70,6 +98,10 @@ class Node:
         """Create one application data packet and hand it to the routing protocol."""
         if self.protocol is None:
             raise RuntimeError(f"node {self.node_id!r} has no routing protocol")
+        if self.is_down:
+            # A crashed application offers no load: the packet is neither
+            # created nor counted as sent.
+            return
         packet = Packet(
             kind=PacketKind.DATA,
             source=self.node_id,
@@ -78,24 +110,30 @@ class Node:
             created_at=self.simulator.now,
             flow_id=flow_id,
         )
-        self.stats.record_data_sent()
+        self.stats.record_data_sent(self.simulator.now)
         self.protocol.originate_data(packet)
 
     def deliver_data(self, packet: Packet) -> None:
         """Called by the routing protocol when a data packet reaches this node."""
         latency = self.simulator.now - packet.created_at
-        self.stats.record_data_delivered(packet.uid, latency)
+        self.stats.record_data_delivered(
+            packet.uid, latency, created_at=packet.created_at
+        )
 
     # -- transmission helpers used by protocols ----------------------------------------
 
     def send_unicast(self, packet: Packet, next_hop: NodeId) -> None:
         """Transmit ``packet`` to a specific neighbour (with MAC retries)."""
+        if self.is_down:
+            return
         if packet.is_control:
-            self.stats.record_control_transmission()
+            self.stats.record_control_transmission(self.simulator.now)
         self.mac.send(packet, next_hop)
 
     def send_broadcast(self, packet: Packet) -> None:
         """Transmit ``packet`` to every neighbour in range (no retries)."""
+        if self.is_down:
+            return
         if packet.is_control:
-            self.stats.record_control_transmission()
+            self.stats.record_control_transmission(self.simulator.now)
         self.mac.send(packet, None)

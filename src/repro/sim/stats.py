@@ -25,6 +25,21 @@ __all__ = ["TrialStats", "TrialSummary"]
 NodeId = Hashable
 
 
+#: The summary fields every store version has written; newer resilience
+#: fields default so cells written before the fault layer existed still load.
+_REQUIRED_SUMMARY_FIELDS = frozenset(
+    {
+        "data_sent",
+        "data_delivered",
+        "control_transmissions",
+        "mean_latency",
+        "mac_drops_per_node",
+        "average_sequence_number",
+        "duplicate_deliveries",
+    }
+)
+
+
 @dataclass(frozen=True, slots=True)
 class TrialSummary:
     """The headline metrics of one simulation trial."""
@@ -36,6 +51,19 @@ class TrialSummary:
     mac_drops_per_node: float
     average_sequence_number: float
     duplicate_deliveries: int
+    # Resilience metrics, populated only when the scenario declares faults
+    # (repro.sim.faults).  Phase classification is by packet *origination*
+    # time: "during" = inside any fault window, "post" = at or after the
+    # heal instant.
+    data_sent_during_fault: int = 0
+    data_delivered_during_fault: int = 0
+    data_sent_post_fault: int = 0
+    data_delivered_post_fault: int = 0
+    #: Seconds from the heal instant to the first delivery of a post-heal
+    #: packet; -1.0 when nothing was delivered after healing (or no faults).
+    route_recovery_time: float = -1.0
+    #: Control transmissions inside the burst window right after healing.
+    control_burst_on_heal: int = 0
 
     @property
     def delivery_ratio(self) -> float:
@@ -43,6 +71,20 @@ class TrialSummary:
         if self.data_sent == 0:
             return 0.0
         return self.data_delivered / self.data_sent
+
+    @property
+    def delivery_ratio_during_fault(self) -> float:
+        """Delivery ratio of packets originated inside a fault window."""
+        if self.data_sent_during_fault == 0:
+            return 0.0
+        return self.data_delivered_during_fault / self.data_sent_during_fault
+
+    @property
+    def delivery_ratio_post_fault(self) -> float:
+        """Delivery ratio of packets originated at or after the heal instant."""
+        if self.data_sent_post_fault == 0:
+            return 0.0
+        return self.data_delivered_post_fault / self.data_sent_post_fault
 
     @property
     def network_load(self) -> float:
@@ -72,13 +114,15 @@ class TrialSummary:
         """Rebuild a summary written by :meth:`to_dict`.
 
         Unknown keys are ignored so stores written by newer versions (which may
-        add informational fields) still load.
+        add informational fields) still load; resilience fields added after
+        the original seven default to their fault-free values, so stores
+        written before the fault layer existed load unchanged.
         """
-        names = {f.name for f in fields(cls)}
-        missing = names - set(data)
+        missing = _REQUIRED_SUMMARY_FIELDS - set(data)
         if missing:
             raise ValueError(f"trial summary dict is missing fields: {sorted(missing)}")
-        return cls(**{name: data[name] for name in names})
+        names = {f.name for f in fields(cls)}
+        return cls(**{name: data[name] for name in names if name in data})
 
 
 class TrialStats:
@@ -98,6 +142,15 @@ class TrialStats:
         "mac_drops_by_node",
         "sequence_numbers_by_node",
         "_delivered_uids",
+        "_fault_windows",
+        "_heal_time",
+        "_burst_until",
+        "sent_during_fault",
+        "delivered_during_fault",
+        "sent_post_fault",
+        "delivered_post_fault",
+        "route_recovery_time",
+        "control_burst_on_heal",
     )
 
     def __init__(self) -> None:
@@ -109,19 +162,66 @@ class TrialStats:
         self.mac_drops_by_node: Dict[NodeId, int] = {}
         self.sequence_numbers_by_node: Dict[NodeId, int] = {}
         self._delivered_uids: set = set()
+        # Fault phase bookkeeping; None = no faults, every record_* call
+        # skips the classification entirely.
+        self._fault_windows = None
+        self._heal_time = 0.0
+        self._burst_until = 0.0
+        self.sent_during_fault = 0
+        self.delivered_during_fault = 0
+        self.sent_post_fault = 0
+        self.delivered_post_fault = 0
+        self.route_recovery_time = -1.0
+        self.control_burst_on_heal = 0
+
+    # -- fault phases -----------------------------------------------------------------
+
+    def configure_faults(
+        self,
+        windows,
+        *,
+        heal_time: float,
+        burst_window: float = 10.0,
+    ) -> None:
+        """Enable resilience accounting for a trial with a fault plan.
+
+        ``windows`` are the merged ``(start, end)`` fault-activity windows;
+        ``heal_time`` is when the last one closes.  Control transmissions in
+        ``[heal_time, heal_time + burst_window)`` count as the heal burst.
+        """
+        self._fault_windows = tuple(windows)
+        self._heal_time = heal_time
+        self._burst_until = heal_time + burst_window
+
+    def _phase(self, t: float) -> int:
+        """0 = pre/between faults, 1 = inside a fault window, 2 = post-heal."""
+        for start, end in self._fault_windows:
+            if start <= t < end:
+                return 1
+        return 2 if t >= self._heal_time else 0
 
     # -- data path ------------------------------------------------------------------
 
-    def record_data_sent(self) -> None:
-        """A CBR source originated one data packet."""
+    def record_data_sent(self, now: float = 0.0) -> None:
+        """A CBR source originated one data packet at time ``now``."""
         self.data_sent += 1
+        if self._fault_windows is not None:
+            phase = self._phase(now)
+            if phase == 1:
+                self.sent_during_fault += 1
+            elif phase == 2:
+                self.sent_post_fault += 1
 
-    def record_data_delivered(self, uid: int, latency: float) -> None:
+    def record_data_delivered(
+        self, uid: int, latency: float, created_at: float = 0.0
+    ) -> None:
         """A data packet reached its destination.
 
         Deliveries of a uid already seen are counted as duplicates and excluded
         from the delivery ratio and the latency average, as in the paper's
-        per-packet accounting.
+        per-packet accounting.  With faults configured the delivery is also
+        bucketed by the packet's origination phase, and the first post-heal
+        delivery stamps the route-recovery time.
         """
         if uid in self._delivered_uids:
             self.duplicate_deliveries += 1
@@ -129,12 +229,25 @@ class TrialStats:
         self._delivered_uids.add(uid)
         self.data_delivered += 1
         self.latencies.append(latency)
+        if self._fault_windows is not None:
+            phase = self._phase(created_at)
+            if phase == 1:
+                self.delivered_during_fault += 1
+            elif phase == 2:
+                self.delivered_post_fault += 1
+                if self.route_recovery_time < 0.0:
+                    self.route_recovery_time = (created_at + latency) - self._heal_time
 
     # -- control path ------------------------------------------------------------------
 
-    def record_control_transmission(self) -> None:
+    def record_control_transmission(self, now: float = 0.0) -> None:
         """One routing-protocol packet was put on the air (origination or relay)."""
         self.control_transmissions += 1
+        if (
+            self._fault_windows is not None
+            and self._heal_time <= now < self._burst_until
+        ):
+            self.control_burst_on_heal += 1
 
     # -- per-node roll-ups -------------------------------------------------------------
 
@@ -172,4 +285,10 @@ class TrialStats:
             mac_drops_per_node=mac_drops,
             average_sequence_number=average_sequence_number,
             duplicate_deliveries=self.duplicate_deliveries,
+            data_sent_during_fault=self.sent_during_fault,
+            data_delivered_during_fault=self.delivered_during_fault,
+            data_sent_post_fault=self.sent_post_fault,
+            data_delivered_post_fault=self.delivered_post_fault,
+            route_recovery_time=self.route_recovery_time,
+            control_burst_on_heal=self.control_burst_on_heal,
         )

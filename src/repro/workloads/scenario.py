@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Mapping, Tuple
 
+from ..sim.faults import FaultSpec
 from ..sim.phy import PhyConfig
 from ..sim.space import Terrain
 
@@ -50,8 +51,15 @@ class Scenario:
     phy: PhyConfig = field(default_factory=PhyConfig)
     # Reproducibility.
     seed: int = 1
+    # Fault plan (repro.sim.faults); empty = the fault layer is never built.
+    faults: Tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+        for spec in self.faults:
+            if not isinstance(spec, FaultSpec):
+                raise ValueError(f"faults must be FaultSpec instances, got {spec!r}")
         if self.node_count < 2:
             raise ValueError("a scenario needs at least two nodes")
         if self.duration <= 0:
@@ -74,6 +82,10 @@ class Scenario:
         """The same scenario under a different trial seed."""
         return replace(self, seed=seed)
 
+    def with_faults(self, faults: Tuple[FaultSpec, ...]) -> "Scenario":
+        """The same scenario under a different fault plan."""
+        return replace(self, faults=tuple(faults))
+
     @property
     def offered_load_pps(self) -> float:
         """Aggregate CBR sending rate (packets per second network-wide)."""
@@ -93,6 +105,13 @@ class Scenario:
             value = getattr(self, f.name)
             if f.name == "phy":
                 value = {pf.name: getattr(value, pf.name) for pf in fields(PhyConfig)}
+            elif f.name == "faults":
+                # Written only when a fault plan exists: fault-free scenarios
+                # keep the exact dict (and hence job content keys) they had
+                # before the fault layer existed.
+                if not value:
+                    continue
+                value = [spec.to_dict() for spec in value]
             data[f.name] = value
         return data
 
@@ -103,6 +122,12 @@ class Scenario:
         phy = kwargs.get("phy")
         if isinstance(phy, Mapping):
             kwargs["phy"] = PhyConfig(**phy)
+        faults = kwargs.get("faults")
+        if faults:
+            kwargs["faults"] = tuple(
+                spec if isinstance(spec, FaultSpec) else FaultSpec.from_dict(spec)
+                for spec in faults
+            )
         known = {f.name for f in fields(cls)}
         unknown = set(kwargs) - known
         if unknown:

@@ -1,0 +1,76 @@
+"""Module-level trial hooks for chaos tests and the CI chaos-smoke job.
+
+The executor resolves ``$REPRO_RUN_HOOK`` (``module:function``) to the trial
+function each worker runs, so fault *injection into the harness itself* needs
+no monkeypatching: point the env var at one of these and selected cells
+crash, hang, fail transiently or take their whole worker process down.
+Everything here must stay module-level (process-pool workers pick hooks up by
+name) and env-driven (pool workers share no Python state with the parent).
+
+Selection: ``REPRO_CHAOS_CRASH`` / ``REPRO_CHAOS_HANG`` / ``REPRO_CHAOS_KILL``
+each hold a comma-separated list of cell labels of the form
+``PROTO:pause:trial`` (e.g. ``AODV:0:0``); unlisted cells run normally.
+``REPRO_CHAOS_FAIL_N`` makes matching cells fail that many times before
+succeeding, with attempt counts persisted as files under
+``REPRO_CHAOS_STATE`` so the count survives pool-worker process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+from repro.experiments.executor import run_job
+from repro.experiments.jobs import TrialJob
+
+
+def _label(job: TrialJob) -> str:
+    return f"{job.protocol}:{job.pause_time:g}:{job.trial}"
+
+
+def _selected(job: TrialJob, env_var: str) -> bool:
+    spec = os.environ.get(env_var, "")
+    return _label(job) in [token for token in spec.split(",") if token]
+
+
+def chaos_cell(job: TrialJob):
+    """The all-in-one hook: crash, hang, kill or fail-N selected cells."""
+    if _selected(job, "REPRO_CHAOS_KILL"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    if _selected(job, "REPRO_CHAOS_CRASH"):
+        raise RuntimeError(f"chaos: injected crash in {_label(job)}")
+    if _selected(job, "REPRO_CHAOS_HANG"):
+        time.sleep(3600.0)
+    if _selected(job, "REPRO_CHAOS_FAIL_N"):
+        state_dir = Path(os.environ["REPRO_CHAOS_STATE"])
+        budget = int(os.environ.get("REPRO_CHAOS_FAIL_COUNT", "1"))
+        marker = state_dir / f"fail-{_label(job).replace(':', '_')}"
+        # One file per prior failure: counting files (not bytes) keeps the
+        # bookkeeping atomic enough for concurrent pool workers.
+        failures = len(list(state_dir.glob(marker.name + ".*")))
+        if failures < budget:
+            (state_dir / f"{marker.name}.{failures}").touch()
+            raise RuntimeError(
+                f"chaos: transient failure {failures + 1}/{budget} "
+                f"in {_label(job)}"
+            )
+    return run_job(job)
+
+
+def kill_worker_once(job: TrialJob):
+    """SIGKILL this worker process the first time a selected cell runs.
+
+    The tombstone file under ``REPRO_CHAOS_STATE`` makes the kill one-shot
+    across process incarnations, so the rebuilt pool (or the isolated retry)
+    completes the cell — the transient-worker-death recovery path.
+    """
+    if _selected(job, "REPRO_CHAOS_KILL"):
+        tombstone = Path(os.environ["REPRO_CHAOS_STATE"]) / (
+            "killed-" + _label(job).replace(":", "_")
+        )
+        if not tombstone.exists():
+            tombstone.touch()
+            os.kill(os.getpid(), signal.SIGKILL)
+    return run_job(job)

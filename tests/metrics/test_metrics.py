@@ -87,6 +87,11 @@ class TestMetricExtraction:
             "latency",
             "mac_drops",
             "sequence_number",
+            # Resilience metrics (fault-injection trials; neutral when clean).
+            "delivery_during_fault",
+            "delivery_post_fault",
+            "route_recovery_time",
+            "heal_control_burst",
         }
 
     def test_extract_each_metric(self):
