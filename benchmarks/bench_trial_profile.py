@@ -38,7 +38,7 @@ from repro.experiments.paper import SCALE_NAMES, resolve_scale
 from repro.experiments.profile import reference_protocol_factory
 from repro.protocols import protocol_factory
 from repro.sim.network import build_network
-from repro.sim.tuning import FastPaths
+from repro.sim.tuning import EngineTuning, FastPaths
 
 #: The two acceptance protocols: the costliest trial (OLSR, proactive
 #: flooding) and the paper's own protocol (SRP).
@@ -68,13 +68,15 @@ def run_point(
     protocol: str,
     *,
     fast_paths: Optional[FastPaths] = None,
+    tuning: Optional[EngineTuning] = None,
     repeat: int = 1,
 ) -> Dict[str, float]:
     """One un-instrumented trial; seconds, events and events/s.
 
     ``repeat`` takes the best of N identical runs — the right estimator for
     wall-clock on a shared/noisy box, since every run computes the same
-    deterministic trial and only the interference differs.
+    deterministic trial and only the interference differs.  ``tuning``
+    selects the engine configuration (event queue, MAC model) to measure.
     """
     factory = (
         reference_protocol_factory(protocol)
@@ -83,7 +85,9 @@ def run_point(
     )
     seconds = float("inf")
     for _ in range(max(repeat, 1)):
-        network = build_network(scenario, factory, fast_paths=fast_paths)
+        network = build_network(
+            scenario, factory, fast_paths=fast_paths, tuning=tuning
+        )
         started = time.perf_counter()
         summary = network.run()
         seconds = min(seconds, time.perf_counter() - started)
@@ -103,24 +107,33 @@ def build_record(
     pause: Optional[float] = None,
     with_off: bool = False,
     repeat: int = 1,
+    event_queue: str = "calendar",
+    mac_model: str = "poll",
 ) -> Dict:
-    """Measure every protocol point and assemble one scale's record."""
+    """Measure every protocol point and assemble one configuration's record."""
     scale = resolve_scale(scale_name)
     pause_time = pause if pause is not None else scale.pause_times[0]
     scenario = scale.scenario.with_pause_time(pause_time)
+    tuning = EngineTuning(event_queue=event_queue, mac_model=mac_model)
     record: Dict = {
         "scale": scale.name,
         "pause_time": pause_time,
         "node_count": scenario.node_count,
         "duration": scenario.duration,
+        "event_queue": event_queue,
+        "mac_model": mac_model,
         "commit": _git_commit(),
         "protocols": {},
     }
     for protocol in protocols:
-        point = run_point(scenario, protocol, repeat=repeat)
+        point = run_point(scenario, protocol, tuning=tuning, repeat=repeat)
         if with_off:
             off = run_point(
-                scenario, protocol, fast_paths=FastPaths.none(), repeat=repeat
+                scenario,
+                protocol,
+                fast_paths=FastPaths.none(),
+                tuning=tuning,
+                repeat=repeat,
             )
             point["off_seconds"] = off["seconds"]
             if point["seconds"] > 0:
@@ -129,19 +142,36 @@ def build_record(
     return record
 
 
-def merge_into_document(document: Optional[Dict], record: Dict) -> Dict:
-    """Fold one scale's record into the trajectory document.
+def record_key(record: Dict) -> str:
+    """The trajectory-document key for one record.
 
-    ``BENCH_5.json`` keeps one record per scale (the paper-tier numbers are
-    the headline trajectory; the smoke record is the CI gate's baseline), so
-    regenerating one scale leaves the others untouched.
+    The engine's default configuration (calendar queue, poll MAC) keeps the
+    bare scale name — so the committed baseline history stays comparable —
+    and non-default axes are appended: ``paper-tier+frozen``,
+    ``smoke+heap``, ``smoke+heap+frozen``.
+    """
+    key = record["scale"]
+    if record.get("event_queue", "calendar") != "calendar":
+        key += f"+{record['event_queue']}"
+    if record.get("mac_model", "poll") != "poll":
+        key += f"+{record['mac_model']}"
+    return key
+
+
+def merge_into_document(document: Optional[Dict], record: Dict) -> Dict:
+    """Fold one record into the trajectory document.
+
+    ``BENCH_5.json`` keeps one record per :func:`record_key` — scale plus
+    any non-default engine configuration (the paper-tier numbers are the
+    headline trajectory; the smoke records are the CI gate's baselines) —
+    so regenerating one configuration leaves the others untouched.
     """
     if not document or "records" not in document:
         document = {"version": RECORD_VERSION, "records": {}}
     document["version"] = RECORD_VERSION
     document["commit"] = record["commit"]
     document["python"] = platform.python_version()
-    document["records"][record["scale"]] = record
+    document["records"][record_key(record)] = record
     return document
 
 
@@ -149,11 +179,12 @@ def check_against_baseline(
     record: Dict, baseline_document: Dict, tolerance: float
 ) -> List[str]:
     """Regression messages (empty = pass) comparing seconds per protocol."""
-    baseline = baseline_document.get("records", {}).get(record["scale"])
+    key = record_key(record)
+    baseline = baseline_document.get("records", {}).get(key)
     if baseline is None:
         return [
-            f"baseline document holds no record for scale "
-            f"{record['scale']!r}; regenerate it with --json"
+            f"baseline document holds no record for configuration "
+            f"{key!r}; regenerate it with --json"
         ]
     problems: List[str] = []
     for protocol, point in record["protocols"].items():
@@ -173,6 +204,8 @@ def check_against_baseline(
 def _print_record(record: Dict) -> None:
     print(
         f"scale={record['scale']} pause={record['pause_time']:g} "
+        f"queue={record.get('event_queue', 'calendar')} "
+        f"mac={record.get('mac_model', 'poll')} "
         f"({record['node_count']} nodes, {record['duration']:g}s simulated, "
         f"commit {record['commit'] or '?'})"
     )
@@ -265,6 +298,19 @@ def main(argv=None) -> int:
         metavar="N",
         help="take the best of N runs per point (for noisy/shared hosts)",
     )
+    parser.add_argument(
+        "--queue",
+        choices=("heap", "calendar"),
+        default="calendar",
+        help="event-queue implementation to measure (default: calendar)",
+    )
+    parser.add_argument(
+        "--mac",
+        choices=("poll", "frozen"),
+        default="poll",
+        help="MAC backoff model to measure (default: poll); non-default "
+        "axes get their own trajectory record (e.g. 'paper-tier+frozen')",
+    )
     args = parser.parse_args(argv)
 
     record = build_record(
@@ -273,6 +319,8 @@ def main(argv=None) -> int:
         pause=args.pause,
         with_off=args.with_off,
         repeat=args.repeat,
+        event_queue=args.queue,
+        mac_model=args.mac,
     )
     _print_record(record)
 

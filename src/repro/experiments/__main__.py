@@ -539,13 +539,16 @@ def _cmd_gate(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from ..sim.tuning import FastPaths
+    from ..sim.tuning import EngineTuning, FastPaths
     from .profile import profile_trial
 
     scale = resolve_scale(args.scale)
     pause = args.pause if args.pause is not None else scale.pause_times[0]
     scenario = scale.scenario.with_pause_time(pause)
+    if args.faults is not None:
+        scenario = scenario.with_faults(fault_preset(args.faults, scenario))
     fast_paths = FastPaths.none() if args.fast_paths == "off" else FastPaths()
+    tuning = EngineTuning(event_queue=args.queue, mac_model=args.mac)
     protocols = args.protocol or ["OLSR"]
     profiles = []
     for protocol in protocols:
@@ -554,6 +557,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             protocol,
             scale_name=scale.name,
             fast_paths=fast_paths,
+            tuning=tuning,
+            faults=args.faults,
             track_allocations=args.alloc,
         )
         profiles.append(profile)
@@ -889,6 +894,27 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("on", "off"),
         default="on",
         help="profile the optimized (on) or reference (off) hot paths",
+    )
+    profile.add_argument(
+        "--faults",
+        choices=tuple(FAULT_PRESETS),
+        default=None,
+        metavar="PRESET",
+        help="profile a faulted trial: install this fault preset "
+        f"(choices: {', '.join(FAULT_PRESETS)})",
+    )
+    profile.add_argument(
+        "--queue",
+        choices=("heap", "calendar"),
+        default="calendar",
+        help="event-queue implementation to profile (default: calendar)",
+    )
+    profile.add_argument(
+        "--mac",
+        choices=("poll", "frozen"),
+        default="poll",
+        help="MAC backoff model to profile: the polling carrier-sense "
+        "loop or the event-driven freeze/resume model (default: poll)",
     )
     profile.add_argument(
         "--alloc",

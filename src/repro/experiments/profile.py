@@ -36,7 +36,7 @@ from ..protocols import protocol_factory
 from ..protocols.olsr import OlsrConfig, OlsrProtocol
 from ..sim.network import build_network
 from ..sim.stats import TrialSummary
-from ..sim.tuning import FastPaths
+from ..sim.tuning import EngineTuning, FastPaths
 from ..workloads.scenario import Scenario
 
 __all__ = [
@@ -62,8 +62,10 @@ def reference_protocol_factory(protocol: str):
     return protocol_factory(protocol)
 
 #: Path fragments -> layer name, first match wins.  Order matters: more
-#: specific fragments (spatial under channel) come before general ones.
+#: specific fragments (spatial under channel, eventq under engine) come
+#: before general ones.
 _LAYER_RULES: Tuple[Tuple[str, str], ...] = (
+    ("repro/sim/eventq", "engine.queue"),
     ("repro/sim/engine", "engine"),
     ("repro/sim/spatial", "channel"),
     ("repro/sim/channel", "channel"),
@@ -82,12 +84,37 @@ _LAYER_RULES: Tuple[Tuple[str, str], ...] = (
     ("/random.py", "rng"),
 )
 
+#: MAC functions (methods and hot-path closures) that make up the backoff /
+#: timer machinery rather than frame handling: the poll model's polling
+#: cycle, the frozen model's freeze/resume callbacks, and the shared
+#: attempt/defer scheduling.  Split out as the ``mac.timers`` sub-layer so
+#: a profile shows how much of "mac" is timer churn — the exact cost the
+#: frozen MAC model exists to delete.
+_MAC_TIMER_NAMES = frozenset(
+    {
+        "_try_dequeue",
+        "_attempt",
+        "_fast_attempt",
+        "_frozen_attempt",
+        "_defer",
+        "poll",      # poll model: carrier-sense polling closure
+        "fire",      # both models: end-of-backoff firing closure
+        "draw",      # frozen model: backoff draw closure
+        "on_idle",   # frozen model: idle-edge resume callback
+        "proceed",   # post-transmission proceed step
+    }
+)
+
 #: Layers always present in a profile (zero-filled when unexercised), so
 #: trajectory comparisons across commits line up column-for-column.
+#: ``engine.queue`` and ``mac.timers`` are sub-layers: siblings in the
+#: output (shares still sum to 100%), carved out of "engine" and "mac".
 KNOWN_LAYERS: Tuple[str, ...] = (
     "engine",
+    "engine.queue",
     "channel",
     "mac",
+    "mac.timers",
     "mobility",
     "packet",
     "node",
@@ -100,13 +127,21 @@ KNOWN_LAYERS: Tuple[str, ...] = (
 )
 
 
-def layer_of(filename: str) -> str:
-    """The architectural layer a profiled function belongs to."""
+def layer_of(filename: str, name: str = "") -> str:
+    """The architectural layer a profiled function belongs to.
+
+    ``name`` (the function name from the pstats key) refines file-level
+    layers into sub-layers: the MAC's timer machinery reports as
+    ``mac.timers``.  Callers without a function name (tracemalloc statistics
+    are per-file) get the coarse layer.
+    """
     if filename == "~":  # pstats' marker for C builtins (heapq, dict, ...)
         return "builtins"
     normalized = filename.replace("\\", "/")
     for fragment, layer in _LAYER_RULES:
         if fragment in normalized:
+            if layer == "mac" and name in _MAC_TIMER_NAMES:
+                return "mac.timers"
             return layer
     return "other"
 
@@ -146,6 +181,9 @@ class TrialProfile:
     fast_paths: bool
     summary: TrialSummary
     layers: List[LayerCost] = field(default_factory=list)
+    event_queue: str = "calendar"
+    mac_model: str = "poll"
+    faults: Optional[str] = None  #: fault preset name, when the trial is faulted
 
     @property
     def profiled_seconds(self) -> float:
@@ -163,6 +201,9 @@ class TrialProfile:
             "events_processed": self.events_processed,
             "events_per_second": round(self.events_per_second, 1),
             "fast_paths": self.fast_paths,
+            "event_queue": self.event_queue,
+            "mac_model": self.mac_model,
+            "faults": self.faults,
             "layers": [cost.to_dict() for cost in self.layers],
             "summary": self.summary.to_dict(),
         }
@@ -174,16 +215,19 @@ class TrialProfile:
             f"Trial profile: {self.protocol} @ scale={self.scale} "
             f"pause={self.pause_time:g}s "
             f"({self.node_count} nodes, {self.duration:g}s simulated, "
-            f"fast paths {'on' if self.fast_paths else 'off'})",
+            f"fast paths {'on' if self.fast_paths else 'off'}, "
+            f"queue={self.event_queue}, mac={self.mac_model}"
+            + (f", faults={self.faults}" if self.faults else "")
+            + ")",
             f"  wall {self.wall_seconds:.2f}s (instrumented), "
             f"{self.events_processed} events, "
             f"{self.events_per_second:,.0f} events/s",
-            f"  {'layer':<10} {'seconds':>9} {'share':>7} {'calls':>12}"
+            f"  {'layer':<12} {'seconds':>9} {'share':>7} {'calls':>12}"
             + ("  alloc KiB" if with_alloc else ""),
         ]
         for cost in self.layers:
             line = (
-                f"  {cost.layer:<10} {cost.seconds:>9.3f} "
+                f"  {cost.layer:<12} {cost.seconds:>9.3f} "
                 f"{cost.seconds / total:>6.1%} {cost.calls:>12,}"
             )
             if cost.allocated_kb is not None:
@@ -198,6 +242,8 @@ def profile_trial(
     *,
     scale_name: str = "custom",
     fast_paths: Optional[FastPaths] = None,
+    tuning: Optional[EngineTuning] = None,
+    faults: Optional[str] = None,
     track_allocations: bool = False,
 ) -> TrialProfile:
     """Run one instrumented trial and return its per-layer breakdown.
@@ -205,16 +251,22 @@ def profile_trial(
     ``fast_paths=FastPaths.none()`` profiles the reference slow path (the
     before side of a before/after table), including OLSR's full per-tick
     route recomputation via :func:`reference_protocol_factory`.
-    ``track_allocations`` adds a tracemalloc pass — allocation sites
-    grouped by the same layers — at a substantial extra slowdown.
+    ``tuning`` selects the engine configuration (event queue, MAC model),
+    defaulting like :func:`build_network` — profiling the frozen MAC is
+    ``tuning=EngineTuning(mac_model="frozen")``.  ``faults`` is a label
+    (the preset name) recorded in the profile when ``scenario`` carries a
+    fault plan; it does not install faults itself.  ``track_allocations``
+    adds a tracemalloc pass — allocation sites grouped by the same layers —
+    at a substantial extra slowdown.
     """
     fp = FastPaths() if fast_paths is None else fast_paths
+    engine_tuning = EngineTuning.from_env() if tuning is None else tuning
     factory = (
         reference_protocol_factory(protocol)
         if fp == FastPaths.none()
         else protocol_factory(protocol)
     )
-    network = build_network(scenario, factory, fast_paths=fp)
+    network = build_network(scenario, factory, fast_paths=fp, tuning=engine_tuning)
 
     allocations: Dict[str, float] = {}
     if track_allocations:
@@ -242,7 +294,7 @@ def profile_trial(
         _cumtime,
         _callers,
     ) in stats.stats.items():  # type: ignore[attr-defined]
-        layer = layer_of(filename)
+        layer = layer_of(filename, _name)
         seconds[layer] = seconds.get(layer, 0.0) + tottime
         calls[layer] = calls.get(layer, 0) + primitive_calls
 
@@ -270,4 +322,7 @@ def profile_trial(
         fast_paths=fp != FastPaths.none(),
         summary=summary,
         layers=layers,
+        event_queue=engine_tuning.event_queue,
+        mac_model=engine_tuning.mac_model,
+        faults=faults if scenario.faults else None,
     )

@@ -217,6 +217,11 @@ class Channel:
         # only when the scenario declares faults; None keeps the reception
         # loop on its original instruction sequence (bit-identity contract).
         self._faults = None
+        # Frozen-backoff sleepers (mac_model="frozen"): node -> mutable
+        # [horizon_hint, on_idle] pairs, woken by the idle-edge check at the
+        # end of each transmission's finish event.  Empty (and therefore
+        # free) under the poll MAC model.
+        self._sleepers: Dict[NodeId, list] = {}
         self.stats = ChannelStats()
 
     # -- membership -------------------------------------------------------------
@@ -562,6 +567,111 @@ class Channel:
                 return True
         return False
 
+    def busy_horizon(self, node_id: NodeId) -> float:
+        """Latest end time of any in-progress transmission within carrier-sense
+        range of ``node_id``, or ``0.0`` when the medium is idle there.
+
+        The frozen-backoff MAC model (``mac_model="frozen"``) schedules a
+        single wake-up at this time instead of polling the medium every
+        backoff slot: a return value greater than ``now`` means *frozen until
+        then*; a value at or below ``now`` means the medium is idle and the
+        countdown may run.  The horizon is evaluated against exact current
+        positions — a transmission outside carrier-sense range now may drift
+        into range later, and a new transmission may start before the
+        horizon, so callers must re-check at every wake-up (the frozen MAC
+        does).  Expired transmissions are pruned here exactly as in
+        :meth:`is_busy_near`, so a wake-up scheduled *at* the horizon
+        observes an idle medium.
+
+        The returned value is *exact* (each in-or-out-of-range decision is
+        settled conservatively from the last exact position plus a drift
+        bound, with fresh interpolation only inside the ambiguity band), and
+        deliberately independent of every FastPaths flag — in particular it
+        never consults the ``busy_until`` certification cache — so a
+        frozen-model trial is bit-identical across FastPaths settings.
+        """
+        now = self._simulator.now
+        active = self._active_transmissions
+        while active and active[0][0] <= now:
+            heapq.heappop(active)
+        if not active:
+            return 0.0
+        carrier_sense_range = self._phy.carrier_sense_range
+        known = self._last_exact.get(node_id)
+        if known is not None:
+            age = now - known[2]
+            # Clamp the age, not the product: an age of -inf (node static
+            # forever) times a zero speed bound would otherwise be NaN.
+            drift = self._max_node_speed * age if age > 0.0 else 0.0
+            px = known[0]
+            py = known[1]
+            horizon = 0.0
+            ambiguous_end = 0.0
+            for _, _, transmission in active:
+                end = transmission.end
+                if end <= horizon:
+                    continue
+                tx, ty = transmission.position
+                dx = tx - px
+                dy = ty - py
+                distance = (dx * dx + dy * dy) ** 0.5
+                if distance + drift <= carrier_sense_range:
+                    horizon = end
+                elif distance - drift <= carrier_sense_range and end > ambiguous_end:
+                    ambiguous_end = end
+            if ambiguous_end <= horizon:
+                # Every undecided transmission ends at or before a certainly
+                # in-range one: the exact answer cannot differ.
+                return horizon
+        px, py = self._position_of(node_id)
+        horizon = 0.0
+        for _, _, transmission in active:
+            end = transmission.end
+            if end <= horizon:
+                continue
+            tx, ty = transmission.position
+            dx = tx - px
+            dy = ty - py
+            if (dx * dx + dy * dy) ** 0.5 <= carrier_sense_range:
+                horizon = end
+        return horizon
+
+    def freeze(
+        self, node_id: NodeId, horizon: float, on_idle: Callable[[], None]
+    ) -> None:
+        """Register a frozen-backoff sleeper to be woken at an idle edge.
+
+        The frozen MAC model calls this instead of scheduling its own
+        wake-up when :meth:`busy_horizon` says the medium is busy: the
+        medium near a frozen node can only become idle when a transmission
+        ends (mobility-induced idleness is picked up at the next end, a few
+        air times later at most), and every transmission end runs a finish
+        event here in the channel — so the finish loop wake-checks the
+        sleepers and calls ``on_idle`` for those whose horizon has passed.
+        This replaces the refreeze event churn (a wake-up scheduled at a
+        horizon that a newer transmission has since extended) with one
+        inline check per (finish, expired-hint sleeper) pair and makes the
+        model *more* faithful: a node resumes at the true first idle edge,
+        not at a stale horizon estimate.
+
+        ``horizon`` — the :meth:`busy_horizon` value the caller just
+        computed — is kept as a wake hint: finishes before it cannot be
+        this node's idle edge (the certifying transmission is still on the
+        air), so the per-finish loop skips the sleeper with one float
+        compare.  When a finish at or past the hint still finds the medium
+        busy (a newer transmission extended it), the hint is advanced in
+        place instead of waking anyone.  ``on_idle`` runs only at a
+        *verified* idle edge, so it draws its backoff without re-checking.
+
+        One registration per node (the MAC serialises on its head-of-line
+        frame); re-registering overwrites.  A stale callback — the node
+        crashed while frozen — is popped at the next idle wake-check and
+        no-ops on its epoch guard.  Deadlock-free: a node only freezes when
+        an in-range transmission is active, and that transmission's finish
+        (like every finish) wake-checks the sleepers.
+        """
+        self._sleepers[node_id] = [horizon, on_idle]
+
     # -- transmission ---------------------------------------------------------------
 
     def transmit(
@@ -678,6 +788,37 @@ class Channel:
                 pool.extend(receptions)
             if on_complete is not None:
                 on_complete(delivered_to_target)
+            # Idle-edge wake-check for frozen-backoff sleepers (see freeze()).
+            # Runs last so a retry scheduled by on_complete contends from
+            # this same edge like every woken sleeper.  Value mutation is
+            # legal mid-iteration; deletions are batched after it.
+            sleepers = self._sleepers
+            if sleepers:
+                wake_now = self._simulator.now
+                active = self._active_transmissions
+                while active and active[0][0] <= wake_now:
+                    heapq.heappop(active)
+                woke = None
+                if not active:
+                    # Medium idle everywhere: every sleeper wakes, no
+                    # geometry needed.
+                    woke = list(sleepers)
+                else:
+                    busy_horizon = self.busy_horizon
+                    for node_id, entry in sleepers.items():
+                        if entry[0] > wake_now:
+                            continue
+                        horizon = busy_horizon(node_id)
+                        if horizon > wake_now:
+                            entry[0] = horizon
+                        elif woke is None:
+                            woke = [node_id]
+                        else:
+                            woke.append(node_id)
+                if woke is not None:
+                    for node_id in woke:
+                        on_idle = sleepers.pop(node_id)[1]
+                        on_idle()
 
         self._simulator.call_in(duration, finish, 1)
         return duration

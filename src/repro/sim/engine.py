@@ -1,12 +1,12 @@
 """Discrete-event simulation engine.
 
 A minimal but complete event scheduler in the style GloMoSim provides to its
-protocol models: events are ``(time, priority, sequence, payload)`` entries on
-a binary heap, executed in time order with FIFO tie-breaking.  Everything in
+protocol models: events are ``(time, priority, sequence, payload)`` entries
+executed in time order with FIFO tie-breaking.  Everything in
 :mod:`repro.sim` — the MAC, mobility sampling, traffic generation and the
 routing protocols' timers — runs on one :class:`Simulator` instance.
 
-The heap stores plain tuples rather than ordered :class:`Event` objects: at
+The queue stores plain tuples rather than ordered :class:`Event` objects: at
 paper scale a trial pushes and pops millions of entries, and tuple comparison
 (which never reaches the trailing payload because the sequence number is
 unique) is several times cheaper than a dataclass-generated ``__lt__``.
@@ -14,15 +14,40 @@ unique) is several times cheaper than a dataclass-generated ``__lt__``.
 calls, keeping the ``cancel()`` API unchanged; hot-path callers that never
 cancel use :meth:`Simulator.call_in`, which skips the handle allocation
 entirely and queues the bare callback.
+
+Two queue implementations back the engine, selected by the ``event_queue``
+constructor argument (``repro.sim.tuning.EngineTuning`` wires it through
+``build_network``):
+
+``"calendar"`` (default)
+    A bucketed calendar queue with an overflow ladder
+    (:class:`~repro.sim.eventq.CalendarQueue`): O(1) amortized push and
+    pop against the heap's O(log n), which is the measured difference at
+    millions of events per trial.
+``"heap"``
+    The PR 1 binary heap (``heapq`` over a plain list), kept as the
+    reference implementation and oracle.
+
+Pop order is totally determined by ``(time, priority, sequence)`` — the
+sequence number is unique — so the two queues dequeue the *identical* entry
+sequence and a trial is bit-identical under either (the equivalence suite in
+``tests/sim/test_eventq.py`` enforces this, including the priority ``-1``
+fault events and cancellation).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from functools import partial
 from typing import Callable, List, Optional, Tuple
 
-__all__ = ["Event", "Simulator", "SimulationError"]
+from .eventq import CalendarQueue
+
+__all__ = ["Event", "Simulator", "SimulationError", "EVENT_QUEUES"]
+
+#: The recognised event-queue implementations.
+EVENT_QUEUES: Tuple[str, ...] = ("heap", "calendar")
 
 
 class SimulationError(RuntimeError):
@@ -33,8 +58,8 @@ class Event:
     """Handle for one scheduled callback.  Ordering: time, priority, FIFO.
 
     The engine orders events by the ``(time, priority, sequence)`` tuple it
-    keeps on the heap; the handle exists so callers can :meth:`cancel` a timer
-    and inspect when it was due.
+    keeps on the queue; the handle exists so callers can :meth:`cancel` a
+    timer and inspect when it was due.
     """
 
     __slots__ = ("time", "priority", "sequence", "callback", "cancelled", "_simulator")
@@ -71,7 +96,7 @@ class Event:
             self._simulator._cancelled_pending += 1
 
 
-#: One heap entry.  The payload — an Event handle or, for fire-and-forget
+#: One queue entry.  The payload — an Event handle or, for fire-and-forget
 #: scheduling, the bare callback — is never compared: sequence is unique.
 _HeapEntry = Tuple[float, int, int, object]
 
@@ -91,8 +116,23 @@ class Simulator:
     protocol is measurably slower at millions of reads per trial.
     """
 
-    def __init__(self) -> None:
-        self._queue: List[_HeapEntry] = []
+    def __init__(self, *, event_queue: str = "calendar") -> None:
+        if event_queue not in EVENT_QUEUES:
+            raise ValueError(
+                f"unknown event queue {event_queue!r}; expected one of "
+                f"{EVENT_QUEUES}"
+            )
+        self.event_queue = event_queue
+        if event_queue == "calendar":
+            self._calendar: Optional[CalendarQueue] = CalendarQueue()
+            self._queue: List[_HeapEntry] = []  # unused; kept for introspection
+            self._push: Callable[[_HeapEntry], None] = self._calendar.push
+        else:
+            self._calendar = None
+            self._queue = []
+            # partial(heappush, list) keeps the heap push one C-level call
+            # for hot-path callers going through hot_scheduler().
+            self._push = partial(heapq.heappush, self._queue)
         self._sequence = itertools.count()
         self.now = 0.0
         self._running = False
@@ -108,7 +148,14 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
+        """Number of live (non-cancelled) events still queued.
+
+        Cancelled events stay queued as tombstones until the loop reaches
+        them (their callbacks are already dropped), so both queue flavours
+        subtract the tombstone count from their raw size.
+        """
+        if self._calendar is not None:
+            return len(self._calendar) - self._cancelled_pending
         return len(self._queue) - self._cancelled_pending
 
     # -- scheduling --------------------------------------------------------------
@@ -122,7 +169,7 @@ class Simulator:
                 f"cannot schedule at {time:.6f}, current time is {self.now:.6f}"
             )
         event = Event(time, priority, next(self._sequence), callback, self)
-        heapq.heappush(self._queue, (time, priority, event.sequence, event))
+        self._push((time, priority, event.sequence, event))
         return event
 
     def schedule_in(
@@ -133,7 +180,7 @@ class Simulator:
             raise SimulationError(f"negative delay {delay!r}")
         time = self.now + delay
         event = Event(time, priority, next(self._sequence), callback, self)
-        heapq.heappush(self._queue, (time, priority, event.sequence, event))
+        self._push((time, priority, event.sequence, event))
         return event
 
     def call_in(
@@ -148,21 +195,23 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        heapq.heappush(
-            self._queue, (self.now + delay, priority, next(self._sequence), callback)
-        )
+        self._push((self.now + delay, priority, next(self._sequence), callback))
 
-    def hot_scheduler(self) -> "Tuple[List[_HeapEntry], Callable[[], int]]":
+    def hot_scheduler(
+        self,
+    ) -> "Tuple[Callable[[_HeapEntry], None], Callable[[], int]]":
         """The raw scheduling internals for trusted hot-path callers.
 
-        Returns ``(heap, next_sequence)``.  A caller may push entries shaped
+        Returns ``(push, next_sequence)``.  A caller may push entries shaped
         exactly like :meth:`call_in`'s — ``(self.now + delay, priority,
-        next_sequence(), callback)`` with ``delay >= 0`` — via
-        ``heapq.heappush``.  This skips one Python call and the negative-delay
-        check per event, which the MAC's backoff loop pays millions of times
-        per trial; ordering semantics are identical because the entries are.
+        next_sequence(), callback)`` with ``delay >= 0``.  This skips one
+        Python call and the negative-delay check per event, which the MAC's
+        backoff machinery pays many times per trial; ordering semantics are
+        identical because the entries are.  ``push`` is queue-flavour
+        agnostic: the heap's C ``heappush`` pre-bound to the list, or the
+        calendar queue's ``push`` method.
         """
-        return self._queue, self._sequence.__next__
+        return self._push, self._sequence.__next__
 
     # -- execution ----------------------------------------------------------------
 
@@ -173,9 +222,6 @@ class Simulator:
         the end, even if the last event fired earlier, so periodic statistics
         normalised by elapsed time are consistent across trials.
         """
-        queue = self._queue
-        pop = heapq.heappop
-        push = heapq.heappush
         event_class = Event
         self._running = True
         # The processed counter lives in a local inside the loop (one
@@ -183,46 +229,96 @@ class Simulator:
         # the attribute is synced on every exit path, including callbacks
         # that raise.
         processed = self._processed
+        calendar = self._calendar
         try:
-            while queue and self._running:
-                entry = pop(queue)
-                time = entry[0]
-                if until is not None and time > until:
-                    # Leave it queued for a potential later run() call.
-                    # (The heap is time-ordered, so everything else is
-                    # beyond `until` too — pushing the one popped entry back
-                    # is a single operation per run() call, cheaper than
-                    # peeking every iteration.)
-                    push(queue, entry)
-                    break
-                payload = entry[3]
-                if payload.__class__ is event_class:
-                    if payload.cancelled:
-                        self._cancelled_pending -= 1
-                        continue
-                    callback = payload.callback
-                    # Drop the closure before executing so a fired event
-                    # never pins its captured state, mirroring cancel() for
-                    # tombstones.
-                    payload.callback = None
-                    self.now = time
-                    processed += 1
-                    callback()
-                else:
-                    self.now = time
-                    processed += 1
-                    payload()
+            if calendar is not None:
+                advance = calendar._advance
+                push = calendar.push
+                pop = heapq.heappop
+                while self._running:
+                    # Fast path at heap parity: one attribute load and a
+                    # C-level heappop.  The attribute must be re-read every
+                    # iteration — callbacks push into it and _advance
+                    # replaces it wholesale at each bucket boundary.
+                    active = calendar._active
+                    if active:
+                        entry = pop(active)
+                    else:
+                        entry = advance()
+                        if entry is None:
+                            break
+                    time = entry[0]
+                    if until is not None and time > until:
+                        # Leave it queued for a potential later run() call;
+                        # everything else in the queue is later still.
+                        push(entry)
+                        break
+                    payload = entry[3]
+                    if payload.__class__ is event_class:
+                        if payload.cancelled:
+                            self._cancelled_pending -= 1
+                            continue
+                        callback = payload.callback
+                        # Drop the closure before executing so a fired event
+                        # never pins its captured state, mirroring cancel()
+                        # for tombstones.
+                        payload.callback = None
+                        self.now = time
+                        processed += 1
+                        callback()
+                    else:
+                        self.now = time
+                        processed += 1
+                        payload()
+            else:
+                queue = self._queue
+                pop = heapq.heappop
+                push = heapq.heappush
+                while queue and self._running:
+                    entry = pop(queue)
+                    time = entry[0]
+                    if until is not None and time > until:
+                        # Leave it queued for a potential later run() call.
+                        # (The heap is time-ordered, so everything else is
+                        # beyond `until` too — pushing the one popped entry
+                        # back is a single operation per run() call, cheaper
+                        # than peeking every iteration.)
+                        push(queue, entry)
+                        break
+                    payload = entry[3]
+                    if payload.__class__ is event_class:
+                        if payload.cancelled:
+                            self._cancelled_pending -= 1
+                            continue
+                        callback = payload.callback
+                        payload.callback = None
+                        self.now = time
+                        processed += 1
+                        callback()
+                    else:
+                        self.now = time
+                        processed += 1
+                        payload()
         finally:
             self._processed = processed
         if until is not None and self.now < until:
             self.now = until
         self._running = False
 
+    def _pop_entry(self) -> Optional[_HeapEntry]:
+        """The next queued entry regardless of queue flavour, or ``None``."""
+        if self._calendar is not None:
+            return self._calendar.pop()
+        if self._queue:
+            return heapq.heappop(self._queue)
+        return None
+
     def step(self) -> bool:
         """Execute the single next event; returns False when the queue is empty."""
-        queue = self._queue
-        while queue:
-            entry = heapq.heappop(queue)
+        while True:
+            entry = self._pop_entry()
+            if entry is None:
+                return False
             payload = entry[3]
             if payload.__class__ is Event:
                 if payload.cancelled:
@@ -236,7 +332,6 @@ class Simulator:
             self._processed += 1
             callback()
             return True
-        return False
 
     def stop(self) -> None:
         """Stop :meth:`run` after the event currently executing."""

@@ -13,6 +13,27 @@ The MAC models the parts of 802.11 DCF the paper's evaluation depends on:
   metric plotted in Fig. 3.
 
 Collisions themselves are decided by the :class:`~repro.sim.channel.Channel`.
+
+Two backoff models are implemented, selected by ``mac_model``
+(:class:`~repro.sim.tuning.EngineTuning` wires it through ``build_network``):
+
+``"poll"`` (default)
+    The seed-faithful polling loop: while the medium is busy the MAC draws a
+    random defer and re-senses after it, so a saturated channel costs tens
+    of poll events per transmitted frame — ~85% of all events in a
+    paper-tier SRP trial.  Bit-identical across every FastPaths setting.
+
+``"frozen"``
+    Event-driven freeze/resume: while the medium is busy the MAC schedules
+    exactly one wake-up at the channel's *busy horizon* (the latest end time
+    of any carrier-sensed transmission — the same certification the
+    busy-until cache is built from), and counts its random backoff down only
+    from an idle edge, re-freezing if the countdown is interrupted.  The
+    poll storm disappears outright.  This is a *model* change — the backoff
+    process differs, so trials are not bit-identical to the poll model — and
+    its contract is the science gate (paper + faults registries) plus the
+    A/B trajectory in EXPERIMENTS.md.  Within the frozen model, FastPaths
+    on/off remains bit-identical.
 """
 
 from __future__ import annotations
@@ -20,7 +41,6 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from heapq import heappush as _heappush
 from typing import Callable, Deque, Hashable, Optional
 
 from .channel import Channel
@@ -71,6 +91,7 @@ class Mac:
         position_provider: Callable[[], "tuple[float, float]"],
         use_fast_backoff: bool = True,
         use_frame_pool: bool = True,
+        mac_model: str = "poll",
     ) -> None:
         self.node_id = node_id
         self._simulator = simulator
@@ -90,6 +111,11 @@ class Mac:
         # Only exact for random.Random itself (a subclass could override
         # the primitives), hence the type check.
         self._use_fast_backoff = use_fast_backoff and type(rng) is random.Random
+        if mac_model not in ("poll", "frozen"):
+            raise ValueError(
+                f"unknown MAC model {mac_model!r}; expected 'poll' or 'frozen'"
+            )
+        self._use_frozen = mac_model == "frozen"
         # Free list of Frame objects (recycled once off the air).
         self._frame_pool: "list[Frame]" = []
         self._use_frame_pool = use_frame_pool
@@ -208,6 +234,9 @@ class Mac:
     def _attempt(self, frame: Frame, attempt: int, epoch: Optional[int] = None) -> None:
         if epoch is not None and epoch != self._epoch:
             return
+        if self._use_frozen:
+            self._frozen_attempt(frame, attempt)
+            return
         if self._use_fast_backoff:
             self._fast_attempt(frame, attempt)
             return
@@ -259,8 +288,7 @@ class Mac:
         busy_until = self._channel.busy_until_view().get
         node_id = self.node_id
         simulator = self._simulator
-        heap, next_sequence = simulator.hot_scheduler()
-        heappush = _heappush
+        push, next_sequence = simulator.hot_scheduler()
 
         def poll() -> None:
             if self._epoch != epoch:
@@ -270,14 +298,12 @@ class Mac:
                 r = getrandbits(defer_bits)
                 while r >= window:
                     r = getrandbits(defer_bits)
-                heappush(
-                    heap, ((1 + r) * slot + now, 0, next_sequence(), poll)
-                )
+                push(((1 + r) * slot + now, 0, next_sequence(), poll))
             else:
                 r = getrandbits(jitter_bits)
                 while r >= jitter_n:
                     r = getrandbits(jitter_bits)
-                heappush(heap, (r * slot + now, 0, next_sequence(), fire))
+                push((r * slot + now, 0, next_sequence(), fire))
 
         def fire() -> None:
             if self._epoch != epoch:
@@ -287,13 +313,89 @@ class Mac:
                 r = getrandbits(defer_bits)
                 while r >= window:
                     r = getrandbits(defer_bits)
-                heappush(
-                    heap, ((1 + r) * slot + now, 0, next_sequence(), poll)
-                )
+                push(((1 + r) * slot + now, 0, next_sequence(), poll))
             else:
                 self._transmit_frame(frame, attempt)
 
         poll()
+
+    def _frozen_attempt(self, frame: Frame, attempt: int) -> None:
+        """The event-driven freeze/resume backoff (``mac_model="frozen"``).
+
+        One ``resume``/``fire`` closure pair serves the whole (frame,
+        attempt), like the poll model's fast path — but a busy medium costs
+        *no events at all*: the MAC registers ``resume`` as a channel
+        sleeper (:meth:`~repro.sim.channel.Channel.freeze`) and the
+        channel's own end-of-transmission finish events wake it at the
+        first idle edge:
+
+        * ``resume`` runs at an idle edge (or inline at the first attempt).
+          Medium busy — freeze: register with the channel and wait, with
+          **no RNG draw** (the counter is frozen).  Medium idle — draw the
+          backoff ``randint(0, w)`` once and count it down in a single
+          scheduled event.
+        * ``fire`` runs when the countdown elapses.  Medium busy — the
+          countdown was interrupted; freeze, and redraw at the next idle
+          edge.  Medium idle — transmit.
+
+        Contention resolution is DCF-shaped: every contender frozen on one
+        transmission wakes at the same idle edge and draws an independent
+        backoff, so the earliest draw wins the channel and equal draws
+        collide.  The draw uses the same inlined ``_randbelow`` rejection
+        loop as the fast poll path (or ``randint`` with fast backoff
+        disabled — identical draw sequence), so within the frozen model a
+        trial is bit-identical across every FastPaths setting.
+        """
+        epoch = self._epoch
+        window = self._windows[attempt]
+        jitter_n = window + 1
+        slot = self._slot_time
+        node_id = self.node_id
+        simulator = self._simulator
+        channel = self._channel
+        busy_horizon = channel.busy_horizon
+        freeze = channel.freeze
+        push, next_sequence = simulator.hot_scheduler()
+        if self._use_fast_backoff:
+            getrandbits = self._rng.getrandbits
+            jitter_bits = jitter_n.bit_length()
+
+            def draw() -> int:
+                r = getrandbits(jitter_bits)
+                while r >= jitter_n:
+                    r = getrandbits(jitter_bits)
+                return r
+        else:
+            randint = self._randint
+
+            def draw() -> int:
+                return randint(0, window)
+
+        def on_idle() -> None:
+            # Called by the channel's wake-check at a *verified* idle edge
+            # (and only there), so the countdown starts without re-checking.
+            if self._epoch != epoch:
+                return
+            push((draw() * slot + simulator.now, 0, next_sequence(), fire))
+
+        def fire() -> None:
+            if self._epoch != epoch:
+                return
+            now = simulator.now
+            horizon = busy_horizon(node_id)
+            if horizon > now:
+                # Interrupted countdown: freeze; redraw at the next idle
+                # edge the channel wakes us at.
+                freeze(node_id, horizon, on_idle)
+            else:
+                self._transmit_frame(frame, attempt)
+
+        now = simulator.now
+        horizon = busy_horizon(node_id)
+        if horizon > now:
+            freeze(node_id, horizon, on_idle)
+        else:
+            push((draw() * slot + now, 0, next_sequence(), fire))
 
     def _defer(self, frame: Frame, attempt: int) -> None:
         backoff_slots = self._randint(1, self._windows[attempt])

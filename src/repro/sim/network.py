@@ -20,7 +20,7 @@ from .mobility import RandomWaypointMobility, StaticMobility
 from .node import Node
 from .rng import RngStreams
 from .stats import TrialStats, TrialSummary
-from .tuning import FastPaths
+from .tuning import EngineTuning, FastPaths
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..protocols.base import RoutingProtocol
@@ -69,6 +69,7 @@ def build_network(
     static_positions: bool = False,
     use_spatial_index: bool = True,
     fast_paths: Optional[FastPaths] = None,
+    tuning: Optional[EngineTuning] = None,
 ) -> Network:
     """Assemble a ready-to-run :class:`Network` for one trial.
 
@@ -79,12 +80,17 @@ def build_network(
     either way (the equivalence tests rely on this); it exists for A/B
     benchmarking and as a fallback.  ``fast_paths`` selects the exact
     hot-path optimizations (:class:`~repro.sim.tuning.FastPaths`; default:
-    all on) under the same bit-identical contract.
+    all on) under the same bit-identical contract.  ``tuning`` selects the
+    engine configuration (:class:`~repro.sim.tuning.EngineTuning`: event
+    queue and MAC model); when omitted it is resolved from the environment
+    via :meth:`EngineTuning.from_env`, which is how CI's ``mac-model-gate``
+    job and A/B sweeps flip a whole run without new CLI flags.
     """
     from ..workloads.cbr import CbrTrafficManager  # local import to avoid a cycle
 
     fp = FastPaths() if fast_paths is None else fast_paths
-    simulator = Simulator()
+    engine_tuning = EngineTuning.from_env() if tuning is None else tuning
+    simulator = Simulator(event_queue=engine_tuning.event_queue)
     streams = RngStreams(scenario.seed)
     # Random-waypoint legs floor the drawn speed at 0.1 m/s, so the channel's
     # drift bound must too; static trials never move nodes at all.
@@ -95,7 +101,11 @@ def build_network(
         max_node_speed=max_node_speed,
         use_spatial_index=use_spatial_index,
         use_reception_memo=fp.reception_memo,
-        use_busy_cache=fp.busy_cache,
+        # The busy-until certification cache only serves the poll MAC's
+        # carrier-sense queries; the frozen model never reads it, so skip
+        # the per-reception seeding work outright.  (Exactness is
+        # unaffected either way: nothing in a frozen trial observes it.)
+        use_busy_cache=fp.busy_cache and engine_tuning.mac_model == "poll",
         use_airtime_memo=fp.airtime_memo,
         use_object_pool=fp.frame_pool,
         use_grid_prefilter=fp.grid_prefilter,
@@ -129,6 +139,7 @@ def build_network(
             position_provider=lambda nid=node_id: nodes[nid].position(),
             use_fast_backoff=fp.fast_backoff,
             use_frame_pool=fp.frame_pool,
+            mac_model=engine_tuning.mac_model,
         )
         node = Node(node_id, simulator, mobility, mac, stats)
         nodes[node_id] = node
@@ -183,6 +194,7 @@ def run_trial(
     static_positions: bool = False,
     use_spatial_index: bool = True,
     fast_paths: Optional[FastPaths] = None,
+    tuning: Optional[EngineTuning] = None,
 ) -> TrialSummary:
     """Build a network for ``scenario``, run it, and return the summary."""
     network = build_network(
@@ -191,5 +203,6 @@ def run_trial(
         static_positions=static_positions,
         use_spatial_index=use_spatial_index,
         fast_paths=fast_paths,
+        tuning=tuning,
     )
     return network.run()

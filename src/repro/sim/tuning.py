@@ -59,9 +59,18 @@ factory, not by ``build_network``.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, fields
+from typing import Tuple
 
-__all__ = ["FastPaths"]
+__all__ = [
+    "FastPaths",
+    "EngineTuning",
+    "EVENT_QUEUES",
+    "MAC_MODELS",
+    "EVENT_QUEUE_ENV",
+    "MAC_MODEL_ENV",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,3 +99,81 @@ class FastPaths:
         if unknown:
             raise ValueError(f"unknown fast paths: {sorted(unknown)}")
         return cls(**{name: name in names for name in known})
+
+
+#: Recognised event-queue implementations (see :mod:`repro.sim.engine`).
+EVENT_QUEUES: Tuple[str, ...] = ("heap", "calendar")
+
+#: Recognised MAC backoff models (see :mod:`repro.sim.mac`).
+MAC_MODELS: Tuple[str, ...] = ("poll", "frozen")
+
+#: Environment overrides consulted by :meth:`EngineTuning.from_env` — the
+#: seam the CI ``mac-model-gate`` job (and any A/B sweep) uses to run the
+#: stock sweep CLI under a different engine configuration without new flags.
+EVENT_QUEUE_ENV = "REPRO_EVENT_QUEUE"
+MAC_MODEL_ENV = "REPRO_MAC_MODEL"
+
+
+@dataclass(frozen=True, slots=True)
+class EngineTuning:
+    """Engine-level configuration of one trial: event queue and MAC model.
+
+    Unlike :class:`FastPaths`, the two knobs here carry *different*
+    contracts:
+
+    ``event_queue``
+        ``"calendar"`` (default) or ``"heap"``.  **Exact**: pop order is
+        totally determined by ``(time, priority, sequence)``, so a trial is
+        bit-identical under either queue — same contract as every FastPaths
+        flag, enforced by the queue-flag equivalence matrix in
+        ``tests/sim/test_eventq.py``.
+
+    ``mac_model``
+        ``"poll"`` (default) or ``"frozen"``.  A **model** change: the
+        frozen-backoff MAC replaces the poll-the-medium backoff loop with an
+        event-driven freeze/resume countdown, eliminating the backoff poll
+        storm (~85% of all events in a saturated trial) at the cost of a
+        *different* — not bit-identical — but physically equivalent
+        contention process.  Its contract is the science gate (the full
+        paper and faults invariant registries) plus the A/B metric
+        trajectory in EXPERIMENTS.md, not bit-identity.  The default stays
+        ``"poll"`` so committed stores, nightly artifacts and the clean
+        bit-identity matrix are undisturbed; CI enforces the frozen model's
+        gate on every PR via the ``mac-model-gate`` job.
+    """
+
+    event_queue: str = "calendar"
+    mac_model: str = "poll"
+
+    def __post_init__(self) -> None:
+        if self.event_queue not in EVENT_QUEUES:
+            raise ValueError(
+                f"unknown event queue {self.event_queue!r}; "
+                f"expected one of {EVENT_QUEUES}"
+            )
+        if self.mac_model not in MAC_MODELS:
+            raise ValueError(
+                f"unknown MAC model {self.mac_model!r}; "
+                f"expected one of {MAC_MODELS}"
+            )
+
+    @classmethod
+    def from_env(cls) -> "EngineTuning":
+        """Defaults, overridden by ``$REPRO_EVENT_QUEUE`` / ``$REPRO_MAC_MODEL``.
+
+        ``build_network`` resolves its default tuning through this, so a
+        whole sweep — CLI, process pools, distributed workers — can be
+        flipped to the frozen MAC or the reference heap from the
+        environment.  A store written under ``REPRO_MAC_MODEL=frozen``
+        holds frozen-model results under the same content keys as a poll
+        store (tuning is not part of a scenario's identity); keep such
+        stores separate, exactly like FastPaths A/B runs.
+        """
+        kwargs = {}
+        queue = os.environ.get(EVENT_QUEUE_ENV)
+        if queue:
+            kwargs["event_queue"] = queue
+        mac = os.environ.get(MAC_MODEL_ENV)
+        if mac:
+            kwargs["mac_model"] = mac
+        return cls(**kwargs)

@@ -51,6 +51,21 @@ class TestLayerMapping:
     def test_windows_separators_are_normalised(self):
         assert layer_of("C:\\repo\\src\\repro\\sim\\mac.py") == "mac"
 
+    def test_eventq_is_its_own_sublayer(self):
+        assert layer_of("/repo/src/repro/sim/eventq.py") == "engine.queue"
+        assert layer_of("/repo/src/repro/sim/eventq.py", "push") == "engine.queue"
+
+    @pytest.mark.parametrize(
+        "name", ["poll", "fire", "draw", "on_idle", "_frozen_attempt", "_defer"]
+    )
+    def test_mac_timer_machinery_is_its_own_sublayer(self, name):
+        assert layer_of("/repo/src/repro/sim/mac.py", name) == "mac.timers"
+
+    def test_mac_frame_handling_stays_in_mac(self):
+        assert layer_of("/repo/src/repro/sim/mac.py", "radio_receive") == "mac"
+        # Timer names only split inside the MAC file, nowhere else.
+        assert layer_of("/repo/src/repro/sim/channel.py", "poll") == "channel"
+
 
 class TestProfileTrial:
     @pytest.fixture(scope="class")
@@ -148,6 +163,35 @@ class TestProfileCli:
         assert main(argv) == 0
         assert "fast paths off" in capsys.readouterr().out
 
+    def test_profile_faulted_frozen_trial(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out = tmp_path / "profile.json"
+        argv = [
+            "profile",
+            "--scale",
+            "smoke",
+            "--protocol",
+            "SRP",
+            "--mac",
+            "frozen",
+            "--queue",
+            "calendar",
+            "--faults",
+            "churn-partition",
+            "--json",
+            str(out),
+        ]
+        assert main(argv) == 0
+        text = capsys.readouterr().out
+        assert "mac=frozen" in text and "faults=churn-partition" in text
+        recorded = json.loads(out.read_text(encoding="utf-8"))["profiles"][0]
+        assert recorded["mac_model"] == "frozen"
+        assert recorded["event_queue"] == "calendar"
+        assert recorded["faults"] == "churn-partition"
+        layers = {layer["layer"] for layer in recorded["layers"]}
+        assert {"engine.queue", "mac.timers"} <= layers
+
 
 class TestBenchTrialRecord:
     """benchmarks/bench_trial_profile.py: record shape and the CI check."""
@@ -170,6 +214,8 @@ class TestBenchTrialRecord:
     def test_build_and_merge_record(self, bench):
         record = bench.build_record("smoke", ["SRP"], with_off=True)
         assert record["scale"] == "smoke"
+        assert record["event_queue"] == "calendar"
+        assert record["mac_model"] == "poll"
         point = record["protocols"]["SRP"]
         assert point["seconds"] > 0 and point["events"] > 0
         assert "off_seconds" in point and "speedup" in point
@@ -179,6 +225,39 @@ class TestBenchTrialRecord:
         other = dict(record, scale="paper-tier")
         document = bench.merge_into_document(document, other)
         assert set(document["records"]) == {"smoke", "paper-tier"}
+
+    def test_record_key_appends_non_default_axes(self, bench):
+        base = {"scale": "smoke", "event_queue": "calendar", "mac_model": "poll"}
+        assert bench.record_key(base) == "smoke"
+        assert bench.record_key(dict(base, mac_model="frozen")) == "smoke+frozen"
+        assert bench.record_key(dict(base, event_queue="heap")) == "smoke+heap"
+        assert (
+            bench.record_key(dict(base, event_queue="heap", mac_model="frozen"))
+            == "smoke+heap+frozen"
+        )
+        # Legacy records without the axis fields key by scale alone.
+        assert bench.record_key({"scale": "paper-tier"}) == "paper-tier"
+
+    def test_frozen_record_merges_alongside_the_default(self, bench):
+        record = bench.build_record("smoke", ["SRP"], mac_model="frozen")
+        assert record["mac_model"] == "frozen"
+        document = bench.merge_into_document(None, record)
+        assert document["records"]["smoke+frozen"] is record
+        # A frozen record never overwrites the default baseline...
+        default = {
+            "scale": "smoke",
+            "event_queue": "calendar",
+            "mac_model": "poll",
+            "commit": None,
+            "protocols": {},
+        }
+        document = bench.merge_into_document(document, default)
+        assert set(document["records"]) == {"smoke", "smoke+frozen"}
+        # ...and the regression check compares like with like.
+        problems = bench.check_against_baseline(
+            record, {"records": {"smoke": default}}, 1.5
+        )
+        assert problems and "smoke+frozen" in problems[0]
 
     def test_check_against_baseline(self, bench):
         record = {
