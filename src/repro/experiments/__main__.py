@@ -38,6 +38,15 @@ persistent on-disk store:
     Evaluate the registered paper-derived invariants (the *science gate*)
     against the store and exit nonzero, naming the violated invariants, when
     the reproduction no longer supports the paper's claims.
+``live``
+    Run the routing protocols as *live* router daemons — real asyncio
+    timers instead of the simulator's virtual clock — soak them with CBR
+    traffic on a static topology, and assert the live gate (delivery floor,
+    physical metrics, zero flood-control violations).  ``--transport
+    loopback`` runs every router on one event loop (deterministic, CI-safe);
+    ``--transport udp`` launches one OS process per router exchanging real
+    UDP datagrams.  Metrics land in the same results-store format as ``run``
+    sweeps, so ``report``/``gate`` tooling reads them unchanged.
 ``merge``
     Union several stores of the same sweep into one compacted store (e.g. a
     timed-out nightly artifact plus the night that finished it).
@@ -48,6 +57,8 @@ persistent on-disk store:
 Examples::
 
     python -m repro.experiments profile --scale smoke --protocol OLSR --json p.json
+    python -m repro.experiments live --protocols LSR AODV --time-scale 0.05
+    python -m repro.experiments live --transport udp --routers 5 --out live-udp
     python -m repro.experiments run --scale smoke --jobs 2 --out sweep-smoke
     python -m repro.experiments run --scale paper --jobs 8 --out sweep-paper
     python -m repro.experiments resume --out sweep-paper --jobs 8
@@ -94,8 +105,21 @@ from .distributed import (
     default_worker_id,
     store_status,
 )
+from ..runtime.live import (
+    TOPOLOGIES as LIVE_TOPOLOGIES,
+    TRANSPORTS as LIVE_TRANSPORTS,
+    LiveRunConfig,
+    run_soak,
+)
+from ..workloads.scenario import Scenario
 from .executor import ExecutionProgress, FaultPolicy, execute_jobs
-from .gate import GATE_REGISTRIES, evaluate_gate, gate_registry
+from .gate import (
+    GATE_REGISTRIES,
+    LIVE_PROTOCOLS,
+    evaluate_gate,
+    gate_registry,
+    live_invariants,
+)
 from .jobs import TrialJob, plan_sweep
 from .paper import (
     EXPERIMENTS,
@@ -517,6 +541,11 @@ def _cmd_gate(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.registry == "live":
+        # A live store holds exactly the protocols that were soaked; assert
+        # over those instead of every soak-capable protocol, so a two-
+        # protocol store is judged complete rather than inconclusive.
+        invariants = live_invariants(meta["protocols"])
     stores = [store] + [ResultsStore(path) for path in (args.union or ())]
     try:
         results = union_results(stores)
@@ -536,6 +565,122 @@ def _cmd_gate(args: argparse.Namespace) -> int:
         )
         print(f"(structured report written to {args.json})")
     return report.exit_code(strict=args.strict)
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    protocols: Sequence[str] = tuple(args.protocols or ("LSR", "AODV"))
+    unknown = [name for name in protocols if name not in LIVE_PROTOCOLS]
+    if unknown:
+        print(
+            f"error: cannot soak {', '.join(unknown)}; live-capable protocols "
+            f"are {', '.join(LIVE_PROTOCOLS)} (Oracle needs the simulator's "
+            "global topology)",
+            file=sys.stderr,
+        )
+        return 2
+    scale_name = f"live-{args.transport}"
+    print(
+        f"Live soak '{scale_name}': {args.routers} routers ({args.topology} "
+        f"topology), {len(protocols)} protocol daemons x {args.duration:g} "
+        f"protocol seconds at time scale {args.time_scale:g} "
+        f"({args.flows} CBR flows @ {args.rate:g} pkt/s)"
+    )
+    reports = {}
+    for name in protocols:
+        try:
+            config = LiveRunConfig(
+                protocol=name,
+                transport=args.transport,
+                routers=args.routers,
+                topology=args.topology,
+                duration=args.duration,
+                warmup=args.warmup,
+                time_scale=args.time_scale,
+                flows=args.flows,
+                rate=args.rate,
+                seed=args.seed,
+                max_ttl=args.max_ttl,
+                dedup_window=args.dedup_window,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = run_soak(config)
+        reports[name] = report
+        s, c = report.summary, report.counters
+        print(
+            f"  {name:<6} delivery {s.delivery_ratio:.3f} "
+            f"({s.data_delivered}/{s.data_sent}), "
+            f"latency {s.mean_latency * 1000.0:.1f} ms, "
+            f"load {s.network_load:.2f}, "
+            f"dedup drops {c.dedup_drops}, ttl drops {c.ttl_drops}, "
+            f"violations {report.violations}",
+            flush=True,
+        )
+    # The store speaks (scenario, protocol, pause, trial); a live soak maps
+    # onto it as a single-trial sweep at pause 0 with a synthetic scenario
+    # carrying the soak's identity (routers, duration, workload, seed).
+    scenario = Scenario(
+        node_count=args.routers,
+        duration=args.duration,
+        pause_time=0.0,
+        flow_count=args.flows,
+        packets_per_second=args.rate,
+        seed=args.seed,
+    )
+    jobs = plan_sweep(scenario, protocols, pause_times=[0.0], trials=1)
+    outcomes = {job: reports[job.protocol].summary for job in jobs}
+    results = collect_sweep(
+        outcomes, pause_times=[0.0], trials=1, protocols=protocols
+    )
+    if args.out is not None:
+        store = ResultsStore(args.out)
+        try:
+            store.ensure_meta(
+                scale=scale_name,
+                scenario=scenario,
+                protocols=protocols,
+                pause_times=[0.0],
+                trials=1,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
+        for job in jobs:
+            store.put(job, outcomes[job])
+        store.write_results(results)
+        print(f"({len(jobs)} live cells stored in {store.root})")
+    gate_report = evaluate_gate(
+        results,
+        live_invariants(protocols, delivery_floor=args.delivery_floor),
+        scale=scale_name,
+        store=str(args.out) if args.out is not None else "(in-memory)",
+    )
+    print(gate_report.to_text())
+    # The flood-control violation counters are runtime state, not summary
+    # metrics, so the gate cannot see them; assert them here.
+    violations = sum(report.violations for report in reports.values())
+    if violations:
+        print(
+            f"error: {violations} flood-control violation(s) — a duplicate "
+            "outlived the dedup window or a router forwarded past the TTL "
+            "budget (per-protocol counts above)",
+            file=sys.stderr,
+        )
+    if args.json is not None:
+        document = {
+            "version": 1,
+            "transport": args.transport,
+            "reports": {
+                name: report.to_dict() for name, report in reports.items()
+            },
+            "gate": gate_report.to_dict(),
+        }
+        Path(args.json).write_text(
+            json.dumps(document, indent=1), encoding="utf-8"
+        )
+        print(f"(structured soak report written to {args.json})")
+    return 1 if violations else gate_report.exit_code(strict=args.strict)
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -863,6 +1008,120 @@ def build_parser() -> argparse.ArgumentParser:
         "and exit (no store needed)",
     )
     gate.set_defaults(func=_cmd_gate)
+
+    live = sub.add_parser(
+        "live",
+        help="soak routing protocols as live asyncio router daemons "
+        "(loopback or UDP) and assert the live gate",
+    )
+    live.add_argument(
+        "--transport",
+        choices=LIVE_TRANSPORTS,
+        default="loopback",
+        help="'loopback': every router on one event loop (deterministic); "
+        "'udp': one OS process per router exchanging real datagrams "
+        "(default: loopback)",
+    )
+    live.add_argument(
+        "--protocols",
+        nargs="+",
+        metavar="PROTO",
+        default=None,
+        help="protocols to soak, one daemon fleet each (default: LSR AODV)",
+    )
+    live.add_argument(
+        "--routers",
+        type=int,
+        default=5,
+        metavar="N",
+        help="router daemons per fleet (default: 5)",
+    )
+    live.add_argument(
+        "--topology",
+        choices=LIVE_TOPOLOGIES,
+        default="line",
+        help="static placement; adjacency is radio range over it "
+        "(default: line)",
+    )
+    live.add_argument(
+        "--duration",
+        type=float,
+        default=40.0,
+        metavar="S",
+        help="soak length in protocol seconds (default: 40)",
+    )
+    live.add_argument(
+        "--warmup",
+        type=float,
+        default=12.0,
+        metavar="S",
+        help="protocol seconds before CBR traffic starts (default: 12)",
+    )
+    live.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="wall seconds per protocol second; 0.05 runs a 40 s soak in "
+        "2 s of wall time (default: 1.0, real time)",
+    )
+    live.add_argument(
+        "--flows",
+        type=int,
+        default=3,
+        metavar="N",
+        help="concurrent CBR flows (default: 3)",
+    )
+    live.add_argument(
+        "--rate",
+        type=float,
+        default=4.0,
+        metavar="P",
+        help="packets per second per flow (default: 4)",
+    )
+    live.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="run seed: topology, flow plan and protocol RNG streams "
+        "(default: 1)",
+    )
+    live.add_argument(
+        "--max-ttl",
+        type=int,
+        default=16,
+        metavar="N",
+        help="hop budget enforced by the runtime (default: 16)",
+    )
+    live.add_argument(
+        "--dedup-window",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="broadcast message-id dedup window in protocol seconds "
+        "(default: 30)",
+    )
+    live.add_argument(
+        "--delivery-floor",
+        type=float,
+        default=0.75,
+        metavar="R",
+        help="minimum delivery ratio the live gate demands of every "
+        "protocol (default: 0.75)",
+    )
+    add_store_arg(live)
+    live.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on inconclusive gate invariants",
+    )
+    live.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the structured soak + gate report to PATH",
+    )
+    live.set_defaults(func=_cmd_live)
 
     profile = sub.add_parser(
         "profile",

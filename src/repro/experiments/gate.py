@@ -574,15 +574,68 @@ def fault_invariants() -> Tuple[Invariant, ...]:
     )
 
 
+#: Protocols a live soak may run; Oracle needs global topology the live
+#: runtime deliberately cannot provide.
+LIVE_PROTOCOLS = ("SRP", "LDR", "AODV", "DSR", "OLSR", "LSR")
+
+
+def live_invariants(
+    protocols: Optional[Sequence[str]] = None,
+    *,
+    delivery_floor: float = 0.5,
+) -> Tuple[Invariant, ...]:
+    """Invariants asserted over live-runtime soaks (``live`` runs).
+
+    A live store holds one trial per protocol at pause 0 on a static,
+    connected topology, so the claims are absolute floors rather than the
+    paper's cross-protocol orderings: routing over a connected graph must
+    actually deliver (the floor is the CLI's ``--delivery-floor``), and the
+    measured physics must stay physical.  The flood-control violation
+    counters are not summary metrics; the ``live`` command asserts them at
+    zero itself, before the store is even written.
+    """
+    names = tuple(protocols) if protocols is not None else LIVE_PROTOCOLS
+    return (
+        BoundInvariant(
+            name="live-delivery-floor",
+            figure="live soak",
+            claim="On a static connected topology every live router daemon "
+            f"delivers at least {delivery_floor:g} of offered CBR traffic",
+            metric="delivery_ratio",
+            protocols=names,
+            lower=delivery_floor,
+            upper=1.0,
+        ),
+        BoundInvariant(
+            name="live-latency-physical",
+            figure="live soak",
+            claim="Live end-to-end latency is a nonnegative wall-clock "
+            "measurement (epoch-aligned across router processes)",
+            metric="latency",
+            protocols=names,
+            lower=0.0,
+        ),
+        BoundInvariant(
+            name="live-load-physical",
+            figure="live soak",
+            claim="Live normalised routing load is a nonnegative count ratio",
+            metric="network_load",
+            protocols=names,
+            lower=0.0,
+        ),
+    )
+
+
 #: Named invariant registries the CLI can assert (``gate --registry``).
 GATE_REGISTRIES = {
     "paper": paper_invariants,
     "faults": fault_invariants,
+    "live": live_invariants,
 }
 
 
 def gate_registry(name: str) -> Tuple[Invariant, ...]:
-    """The registry called ``name`` (``paper`` or ``faults``)."""
+    """The registry called ``name`` (``paper``, ``faults`` or ``live``)."""
     try:
         return GATE_REGISTRIES[name]()
     except KeyError:

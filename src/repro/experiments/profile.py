@@ -32,8 +32,7 @@ import tracemalloc
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..protocols import protocol_factory
-from ..protocols.olsr import OlsrConfig, OlsrProtocol
+from ..protocols import PROTOCOLS, protocol_factory
 from ..sim.network import build_network
 from ..sim.stats import TrialSummary
 from ..sim.tuning import EngineTuning, FastPaths
@@ -51,14 +50,21 @@ __all__ = [
 def reference_protocol_factory(protocol: str):
     """The protocol factory for the all-fast-paths-off reference side.
 
-    OLSR's incremental route maintenance is one of PR 5's fast paths but
-    lives in ``OlsrConfig`` (protocol instances are built by the factory,
-    not by ``build_network``), so the reference side must disable it
-    explicitly alongside ``FastPaths.none()``.  Used by both
-    ``profile --fast-paths off`` and ``bench_trial_profile.py --with-off``.
+    Incremental route maintenance (OLSR's and LSR's dirty-flag SPF) is one
+    of PR 5's fast paths but lives in the protocol *config* (instances are
+    built by the factory, not by ``build_network``), so the reference side
+    must disable it explicitly alongside ``FastPaths.none()``.  Registry-
+    driven: any protocol whose config declares ``incremental_routes`` gets
+    it switched off.  Used by both ``profile --fast-paths off`` and
+    ``bench_trial_profile.py --with-off``.
     """
-    if protocol == "OLSR":
-        return lambda node_id: OlsrProtocol(OlsrConfig(incremental_routes=False))
+    spec = PROTOCOLS.get(protocol)
+    if (
+        spec is not None
+        and spec.config_class is not None
+        and "incremental_routes" in spec.default_config().to_dict()
+    ):
+        return protocol_factory(protocol, {"incremental_routes": False})
     return protocol_factory(protocol)
 
 #: Path fragments -> layer name, first match wins.  Order matters: more

@@ -1,17 +1,28 @@
-"""Routing protocols: SRP (the paper's contribution) and its baselines.
+"""Routing protocols: SRP (the paper's contribution), its baselines, and LSR.
 
-``PROTOCOLS`` maps the names used throughout the evaluation (Table I and
-Figures 3–7) to factories producing fresh per-node protocol instances, which
-is the shape :func:`repro.sim.network.build_network` expects.
+``PROTOCOLS`` is the single registry every consumer goes through — the sweep
+planner, the CLI, the profiler's reference side and the live runtime all
+resolve a protocol name to a :class:`ProtocolSpec` here, so "what protocols
+exist and how is one configured" lives in exactly one place instead of
+per-protocol conditionals scattered over ``build_network``/CLI/scenario code.
+
+A spec bundles the protocol class with its config dataclass;
+:meth:`ProtocolSpec.factory` produces the per-node factory shape
+:func:`repro.sim.network.build_network` and the live runtime both expect,
+accepting a config instance, a plain dict (via the
+:class:`~repro.protocols.base.ProtocolConfig` ``from_dict`` contract), or
+nothing for defaults.
 """
 
-from typing import Callable, Dict, Hashable
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Mapping, Optional, Union
 
 from .aodv import AodvConfig, AodvProtocol
 from .base import PacketBuffer, ProtocolConfig, RoutingProtocol
 from .common import ComputationState, DiscoveryController, RreqCache
 from .dsr import DsrConfig, DsrProtocol
 from .ldr import LdrConfig, LdrProtocol
+from .lsr import LsrConfig, LsrProtocol
 from .olsr import OlsrConfig, OlsrProtocol
 from .oracle import OracleProtocol
 from .srp import SrpConfig, SrpProtocol
@@ -29,33 +40,99 @@ __all__ = [
     "DsrProtocol",
     "LdrConfig",
     "LdrProtocol",
+    "LsrConfig",
+    "LsrProtocol",
     "OlsrConfig",
     "OlsrProtocol",
     "OracleProtocol",
     "SrpConfig",
     "SrpProtocol",
+    "ProtocolSpec",
     "PROTOCOLS",
     "protocol_factory",
+    "resolve_config",
 ]
 
-#: Name -> protocol class for the five protocols in the paper's evaluation,
-#: plus the testing oracle.
-PROTOCOLS: Dict[str, type] = {
-    "SRP": SrpProtocol,
-    "LDR": LdrProtocol,
-    "AODV": AodvProtocol,
-    "DSR": DsrProtocol,
-    "OLSR": OlsrProtocol,
-    "Oracle": OracleProtocol,
+NodeId = Hashable
+
+ConfigLike = Union[ProtocolConfig, Mapping[str, object], None]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One registry row: a protocol class plus how to configure it."""
+
+    name: str
+    protocol_class: type
+    #: The protocol's config dataclass; ``None`` for configless protocols
+    #: (the testing Oracle).
+    config_class: Optional[type] = None
+
+    def default_config(self) -> Optional[ProtocolConfig]:
+        """A fresh default config instance (``None`` when configless)."""
+        return self.config_class() if self.config_class is not None else None
+
+    def make_config(self, config: ConfigLike = None) -> Optional[ProtocolConfig]:
+        """Normalise ``config`` (instance, dict or ``None``) to an instance."""
+        if config is None:
+            return self.default_config()
+        if self.config_class is None:
+            raise ValueError(f"protocol {self.name!r} takes no config")
+        if isinstance(config, self.config_class):
+            return config
+        if isinstance(config, Mapping):
+            return self.config_class.from_dict(config)
+        raise TypeError(
+            f"config for {self.name!r} must be {self.config_class.__name__}, "
+            f"a mapping, or None; got {type(config).__name__}"
+        )
+
+    def factory(
+        self, config: ConfigLike = None
+    ) -> Callable[[NodeId], RoutingProtocol]:
+        """A per-node factory (the shape ``build_network`` expects)."""
+        resolved = self.make_config(config)
+        if resolved is None:
+            return lambda node_id: self.protocol_class()
+        return lambda node_id: self.protocol_class(resolved)
+
+
+#: Name -> spec for the five protocols in the paper's evaluation, the LSR
+#: link-state addition, and the testing oracle.
+PROTOCOLS: Dict[str, ProtocolSpec] = {
+    spec.name: spec
+    for spec in (
+        ProtocolSpec("SRP", SrpProtocol, SrpConfig),
+        ProtocolSpec("LDR", LdrProtocol, LdrConfig),
+        ProtocolSpec("AODV", AodvProtocol, AodvConfig),
+        ProtocolSpec("DSR", DsrProtocol, DsrConfig),
+        ProtocolSpec("OLSR", OlsrProtocol, OlsrConfig),
+        ProtocolSpec("LSR", LsrProtocol, LsrConfig),
+        ProtocolSpec("Oracle", OracleProtocol, None),
+    )
 }
 
 
-def protocol_factory(name: str) -> Callable[[Hashable], RoutingProtocol]:
-    """A per-node factory for the named protocol (for ``build_network``)."""
+def _spec(name: str) -> ProtocolSpec:
     try:
-        protocol_class = PROTOCOLS[name]
+        return PROTOCOLS[name]
     except KeyError:
         raise ValueError(
             f"unknown protocol {name!r}; expected one of {sorted(PROTOCOLS)}"
         ) from None
-    return lambda node_id: protocol_class()
+
+
+def resolve_config(name: str, config: ConfigLike = None) -> Optional[ProtocolConfig]:
+    """Normalise a config for the named protocol (dict/instance/None)."""
+    return _spec(name).make_config(config)
+
+
+def protocol_factory(
+    name: str, config: ConfigLike = None
+) -> Callable[[NodeId], RoutingProtocol]:
+    """A per-node factory for the named protocol (for ``build_network``).
+
+    ``config`` may be a config instance, a JSON-style dict (validated via
+    the ``from_dict`` contract), or ``None`` for the protocol's defaults.
+    """
+    return _spec(name).factory(config)

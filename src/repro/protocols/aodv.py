@@ -112,7 +112,7 @@ class AodvProtocol(RoutingProtocol):
     def attach(self, node) -> None:
         super().attach(node)
         self.discovery = DiscoveryController(
-            node.simulator,
+            node.clock,
             send_request=self._send_rreq,
             give_up=self._discovery_failed,
             timeout=self.config.discovery_timeout,
@@ -121,7 +121,7 @@ class AodvProtocol(RoutingProtocol):
 
     def start(self) -> None:
         PeriodicTimer(
-            self.simulator, self.config.maintenance_interval, self._maintenance
+            self.clock, self.config.maintenance_interval, self._maintenance
         ).start()
 
     def _maintenance(self, now: float) -> None:
@@ -151,7 +151,7 @@ class AodvProtocol(RoutingProtocol):
 
     def _valid_next_hop(self, destination: NodeId) -> Optional[NodeId]:
         entry = self.routes.get(destination)
-        if entry and entry.valid and entry.expires_at > self.simulator.now:
+        if entry and entry.valid and entry.expires_at > self.clock.now:
             return entry.next_hop
         return None
 
@@ -181,13 +181,13 @@ class AodvProtocol(RoutingProtocol):
         entry.hop_count = hop_count
         entry.next_hop = next_hop
         entry.valid = True
-        entry.expires_at = self.simulator.now + self.config.route_lifetime
+        entry.expires_at = self.clock.now + self.config.route_lifetime
         return True
 
     def _refresh(self, destination: NodeId) -> None:
         entry = self.routes.get(destination)
         if entry and entry.valid:
-            entry.expires_at = self.simulator.now + self.config.route_lifetime
+            entry.expires_at = self.clock.now + self.config.route_lifetime
 
     # -- application data --------------------------------------------------------------
 

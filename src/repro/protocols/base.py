@@ -1,31 +1,38 @@
 """The routing-protocol interface every protocol in this repository implements.
 
-A protocol instance belongs to exactly one node.  The simulator interacts with
-it through four entry points:
+A protocol instance belongs to exactly one node.  Its runtime — the simulated
+``Node`` or a live router daemon — interacts with it through four entry
+points:
 
 * :meth:`RoutingProtocol.start` — called once when the trial starts (proactive
   protocols schedule their periodic advertisements here).
 * :meth:`RoutingProtocol.originate_data` — the application wants a data packet
   delivered; the protocol forwards it, queues it while discovering a route, or
   drops it.
-* :meth:`RoutingProtocol.handle_packet` — the MAC decoded a packet addressed
-  to this node (or a broadcast).
-* :meth:`RoutingProtocol.handle_link_failure` — the MAC exhausted retries for
-  a unicast to a neighbour; the protocol treats the link as broken (the
-  paper's "link-layer unicast loss detection").
+* :meth:`RoutingProtocol.handle_packet` — the link layer decoded a packet
+  addressed to this node (or a broadcast).
+* :meth:`RoutingProtocol.handle_link_failure` — the link layer exhausted
+  retries for a unicast to a neighbour; the protocol treats the link as broken
+  (the paper's "link-layer unicast loss detection").  Transports without
+  delivery feedback (UDP) simply never call it.
 
-The base class also provides the shared helpers all implementations use: a
-packet-buffer for data awaiting routes, control-packet constructors and the
-per-destination statistics hooks used by Fig. 7 (sequence-number accounting).
+Protocols see their environment only through the
+:class:`~repro.runtime.base.Runtime` seam (clock, sends, identity, RNG), so
+the same classes run inside the discrete-event simulator and as live asyncio
+daemons.  The base class also provides the shared helpers all implementations
+use: a packet-buffer for data awaiting routes, control-packet constructors
+and the per-destination statistics hooks used by Fig. 7 (sequence-number
+accounting).
 """
 
 from __future__ import annotations
 
 import abc
 from collections import defaultdict, deque
-from typing import Deque, Dict, Hashable, List, Optional
+from dataclasses import fields, is_dataclass
+from typing import Any, Deque, Dict, Hashable, List, Mapping, Optional
 
-from ..sim.node import Node
+from ..runtime.base import Clock, Runtime
 from ..sim.packet import Packet, PacketKind
 
 __all__ = ["RoutingProtocol", "ProtocolConfig", "PacketBuffer"]
@@ -34,7 +41,39 @@ NodeId = Hashable
 
 
 class ProtocolConfig:
-    """Base class for protocol configuration objects (plain attribute bags)."""
+    """Base class for protocol configuration dataclasses.
+
+    Every concrete config is a frozen dataclass of JSON-safe scalar fields;
+    the round-trip here mirrors :meth:`Scenario.to_dict`'s contract so
+    protocol parameters can enter sweep content keys and live-run configs
+    identically.
+    """
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict of every config field."""
+        if not is_dataclass(self):
+            raise TypeError(
+                f"{type(self).__name__} is not a dataclass; protocol configs "
+                "must be frozen dataclasses of JSON-safe fields"
+            )
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProtocolConfig":
+        """Rebuild a config written by :meth:`to_dict`.
+
+        Unknown keys are an error — a mistyped parameter silently falling
+        back to its default would corrupt a sweep's content keys.
+        """
+        if not is_dataclass(cls):
+            raise TypeError(f"{cls.__name__} is not a dataclass")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown {cls.__name__} fields: {sorted(unknown)}"
+            )
+        return cls(**dict(data))
 
 
 class PacketBuffer:
@@ -77,12 +116,12 @@ class RoutingProtocol(abc.ABC):
     name: str = "abstract"
 
     def __init__(self) -> None:
-        self.node: Optional[Node] = None
+        self.node: Optional[Runtime] = None
 
     # -- lifecycle -----------------------------------------------------------------
 
-    def attach(self, node: Node) -> None:
-        """Bind this protocol instance to its node (called by ``Node``)."""
+    def attach(self, node: Runtime) -> None:
+        """Bind this protocol instance to its runtime (sim node or live router)."""
         self.node = node
 
     def start(self) -> None:
@@ -132,9 +171,19 @@ class RoutingProtocol(abc.ABC):
     # -- helpers for subclasses --------------------------------------------------------
 
     @property
-    def simulator(self):
-        """The trial's simulator (valid after :meth:`attach`)."""
-        return self.node.simulator
+    def clock(self) -> Clock:
+        """The runtime's clock (valid after :meth:`attach`).
+
+        Inside a trial this is the :class:`~repro.sim.engine.Simulator`
+        itself; live it is the asyncio-backed clock.  Either way ``now`` and
+        the ``schedule_*`` calls behave identically from the protocol's side.
+        """
+        return self.node.clock
+
+    @property
+    def simulator(self) -> Clock:
+        """Backward-compatible alias for :attr:`clock`."""
+        return self.node.clock
 
     @property
     def node_id(self) -> NodeId:
@@ -150,7 +199,7 @@ class RoutingProtocol(abc.ABC):
             source=self.node_id,
             destination=destination,
             size_bytes=size_bytes,
-            created_at=self.simulator.now,
+            created_at=self.node.clock.now,
             payload=payload,
         )
 

@@ -45,36 +45,38 @@ CONTROL_SIZES = {
 
 
 class PeriodicTimer:
-    """One repeating simulator event driving a per-node maintenance scan.
+    """One repeating timer event driving a per-node maintenance scan.
 
     Every protocol in the repository aggregates its per-entry timeouts
     (route lifetimes, RREQ-cache ages, discovery retries that expired) into
-    one periodic tick per node instead of one simulator event per entry —
+    one periodic tick per node instead of one timer event per entry —
     the timer-wheel idea at its coarsest.  This class is that tick: it
     calls ``callback(now)`` every ``interval`` seconds, rescheduling itself
     *after* the callback exactly as the protocols' hand-rolled maintenance
     loops did (so event sequence numbers, and with them same-instant
-    tie-breaking, are unchanged).
+    tie-breaking, are unchanged).  ``clock`` is any
+    :class:`~repro.runtime.base.Clock` — the simulator in a trial, the
+    asyncio clock live.
 
     ``start(first_delay=...)`` supports the desynchronised first firings
     the periodic protocols use (OLSR's per-node hello/TC offsets).
     """
 
-    __slots__ = ("_simulator", "_interval", "_callback")
+    __slots__ = ("_clock", "_interval", "_callback")
 
-    def __init__(self, simulator, interval: float, callback) -> None:
-        self._simulator = simulator
+    def __init__(self, clock, interval: float, callback) -> None:
+        self._clock = clock
         self._interval = interval
         self._callback = callback
 
     def start(self, first_delay: Optional[float] = None) -> None:
         """Schedule the first tick (default: one full interval from now)."""
         delay = self._interval if first_delay is None else first_delay
-        self._simulator.schedule_in(delay, self._tick)
+        self._clock.schedule_in(delay, self._tick)
 
     def _tick(self) -> None:
-        self._callback(self._simulator.now)
-        self._simulator.schedule_in(self._interval, self._tick)
+        self._callback(self._clock.now)
+        self._clock.schedule_in(self._interval, self._tick)
 
 
 class ComputationState(enum.Enum):
@@ -193,14 +195,14 @@ class DiscoveryController:
 
     def __init__(
         self,
-        simulator,
+        clock,
         *,
         send_request: Callable[[NodeId, int, int], None],
         give_up: Callable[[NodeId], None],
         timeout: float = 1.0,
         max_attempts: int = 3,
     ) -> None:
-        self._simulator = simulator
+        self._clock = clock
         self._send_request = send_request
         self._give_up = give_up
         self._timeout = timeout
@@ -228,7 +230,7 @@ class DiscoveryController:
         return state
 
     def _arm_timer(self, state: DiscoveryState) -> None:
-        state.timer = self._simulator.schedule_in(
+        state.timer = self._clock.schedule_in(
             self._timeout * state.attempts, lambda: self._on_timeout(state)
         )
 

@@ -111,7 +111,7 @@ class DsrProtocol(RoutingProtocol):
     def attach(self, node) -> None:
         super().attach(node)
         self.discovery = DiscoveryController(
-            node.simulator,
+            node.clock,
             send_request=self._send_rreq,
             give_up=self._discovery_failed,
             timeout=self.config.discovery_timeout,

@@ -124,7 +124,7 @@ class LdrProtocol(RoutingProtocol):
     def attach(self, node) -> None:
         super().attach(node)
         self.discovery = DiscoveryController(
-            node.simulator,
+            node.clock,
             send_request=self._send_rreq,
             give_up=self._discovery_failed,
             timeout=self.config.discovery_timeout,
@@ -133,7 +133,7 @@ class LdrProtocol(RoutingProtocol):
 
     def start(self) -> None:
         PeriodicTimer(
-            self.simulator, self.config.maintenance_interval, self._maintenance
+            self.clock, self.config.maintenance_interval, self._maintenance
         ).start()
 
     def _maintenance(self, now: float) -> None:
@@ -161,7 +161,7 @@ class LdrProtocol(RoutingProtocol):
 
     def _valid_next_hop(self, destination: NodeId) -> Optional[NodeId]:
         entry = self.routes.get(destination)
-        if entry and entry.valid and entry.expires_at > self.simulator.now:
+        if entry and entry.valid and entry.expires_at > self.clock.now:
             return entry.next_hop
         return None
 
@@ -194,7 +194,7 @@ class LdrProtocol(RoutingProtocol):
         entry.distance = distance
         entry.next_hop = next_hop
         entry.valid = True
-        entry.expires_at = self.simulator.now + self.config.route_lifetime
+        entry.expires_at = self.clock.now + self.config.route_lifetime
         return True
 
     # -- application data -------------------------------------------------------------
@@ -213,7 +213,7 @@ class LdrProtocol(RoutingProtocol):
     def _forward_data(self, packet: Packet, next_hop: NodeId) -> None:
         entry = self.routes.get(packet.destination)
         if entry is not None and entry.valid:
-            entry.expires_at = self.simulator.now + self.config.route_lifetime
+            entry.expires_at = self.clock.now + self.config.route_lifetime
         self.node.send_unicast(packet, next_hop)
 
     # -- MAC callbacks -----------------------------------------------------------------

@@ -1,0 +1,416 @@
+"""LSR — an OSPF-style link-state routing protocol.
+
+Not one of the paper's five protocols: LSR extends the comparison matrix
+with the classic link-state design the SNIPPETS exemplars implement against
+real transports, and it is the first protocol written for *both* runtimes
+from day one — the deterministic simulator and the live asyncio daemons
+(:mod:`repro.runtime.live`).
+
+Where OLSR (the paper's proactive baseline) floods soft-state TC messages
+and accepts any refresh with a non-stale sequence number, LSR follows the
+OSPF discipline:
+
+* each node originates a **sequence-numbered LSA** describing its full link
+  set; an LSA replaces the stored one only when *strictly newer*
+  (``seq >``), so duplicated floods are inert by construction;
+* LSAs age out of the **LSDB** (max-age) and are re-originated periodically
+  (refresh) **and on triggered events** — a neighbour appearing or dying
+  re-floods immediately, rate-limited by ``lsa_min_interval``;
+* SPF uses only **bidirectional links**: an edge enters the shortest-path
+  graph when *both* endpoints advertise it, OSPF's two-way check, which
+  keeps half-dead links (one side still holding a stale adjacency) out of
+  the forwarding plane;
+* flooding carries a TTL and every node dedups on ``(origin, seq)``.
+
+The dirty-flag + validity-horizon SPF scheduling is transplanted verbatim
+from OLSR's incremental-routes machinery (PR 5): the periodic route tick
+skips the SPF while nothing was added, revived or replaced and no entry
+that fed the last computation can have expired yet.
+
+Determinism across runtimes: the SPF iterates neighbours in **sorted
+order**, so two nodes with the same LSDB compute the same table regardless
+of dict insertion order — the property the sim-vs-live parity tests
+(``tests/runtime/test_parity.py``) rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from ..sim.packet import Packet
+from .base import ProtocolConfig, RoutingProtocol
+from .common import CONTROL_SIZES, PeriodicTimer
+
+__all__ = ["LsrConfig", "LsrProtocol", "LsrHello", "LsrLsa", "LsdbEntry"]
+
+NodeId = Hashable
+
+_NEVER = float("inf")
+
+
+def _sorted_ids(ids: Iterable[NodeId]) -> List[NodeId]:
+    """Deterministic ordering for arbitrary hashable node ids."""
+    try:
+        return sorted(ids)  # type: ignore[type-var]
+    except TypeError:
+        return sorted(ids, key=repr)
+
+
+@dataclass(frozen=True, slots=True)
+class LsrHello:
+    """One-hop broadcast for neighbour sensing (never forwarded)."""
+
+    origin: NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class LsrLsa:
+    """A link-state advertisement: the origin's full current link set."""
+
+    origin: NodeId
+    sequence_number: int
+    links: Tuple[NodeId, ...]
+    ttl: int = 16
+
+
+@dataclass
+class LsdbEntry:
+    """One origin's row in the link-state database."""
+
+    links: Set[NodeId]
+    sequence_number: int
+    expires_at: float
+
+
+@dataclass(frozen=True, slots=True)
+class LsrConfig(ProtocolConfig):
+    """LSR intervals, holding times and flood control.
+
+    ``incremental_routes`` gates the dirty-flag/validity-horizon SPF
+    scheduling (exact — a skipped SPF would have rebuilt the identical
+    table); ``lsa_min_interval`` rate-limits triggered re-originations so
+    a flapping neighbour cannot melt the network with floods.
+    """
+
+    hello_interval: float = 2.0
+    neighbor_hold_time: float = 6.0
+    lsa_interval: float = 5.0
+    lsa_max_age: float = 15.0
+    lsa_min_interval: float = 0.5
+    lsa_ttl: int = 16
+    route_recompute_interval: float = 1.0
+    incremental_routes: bool = True
+    hop_limit: int = 32
+
+
+class LsrProtocol(RoutingProtocol):
+    """One node's LSR instance (both runtimes)."""
+
+    name = "LSR"
+
+    def __init__(self, config: Optional[LsrConfig] = None) -> None:
+        super().__init__()
+        self.config = config or LsrConfig()
+        #: neighbour -> expiry time (hello soft state)
+        self.neighbors: Dict[NodeId, float] = {}
+        #: origin -> LSDB row for every *other* node heard from
+        self.lsdb: Dict[NodeId, LsdbEntry] = {}
+        self.routing_table: Dict[NodeId, NodeId] = {}
+        #: own LSA sequence number; survives reboots (non-volatile in OSPF).
+        self.lsa_sequence_number = 0
+        self.seen_lsas: Set[Tuple[NodeId, int]] = set()
+        self.data_drops = 0
+        #: flood-control counters the live runtime's soak gate reads.
+        self.ttl_expired_drops = 0
+        self.duplicate_lsa_drops = 0
+        self._last_origination = -_NEVER
+        self._origination_pending = False
+        # Dirty-flag + validity-horizon SPF bookkeeping (OLSR PR 5 design).
+        self._routes_dirty = True
+        self._routes_valid_until = -_NEVER
+        self._routes_computed_at = -_NEVER
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> None:
+        offset = (hash(self.node_id) % 1000) / 1000.0
+        config = self.config
+        PeriodicTimer(
+            self.clock, config.hello_interval, self._emit_hello
+        ).start(first_delay=offset * config.hello_interval)
+        PeriodicTimer(self.clock, config.lsa_interval, self._refresh_lsa).start(
+            first_delay=offset * config.lsa_interval
+        )
+        PeriodicTimer(
+            self.clock, config.route_recompute_interval, self._route_maintenance
+        ).start()
+
+    def on_node_down(self) -> None:
+        """Crash: the LSDB and adjacency state are volatile, the seq is not."""
+        self.neighbors.clear()
+        self.lsdb.clear()
+        self.routing_table.clear()
+        self.seen_lsas.clear()
+        self._last_origination = -_NEVER
+        self._origination_pending = False
+        self._routes_dirty = True
+        self._routes_valid_until = -_NEVER
+        self._routes_computed_at = -_NEVER
+
+    # -- periodic emissions ------------------------------------------------------------
+
+    def _emit_hello(self, now: float) -> None:
+        self.node.send_broadcast(
+            self.make_control_packet(
+                self.node_id, LsrHello(origin=self.node_id), CONTROL_SIZES["hello"]
+            )
+        )
+
+    def _refresh_lsa(self, now: float) -> None:
+        self._originate_lsa(now)
+
+    def _originate_lsa(self, now: float) -> None:
+        """Flood a fresh LSA, honouring the min-origination interval.
+
+        A triggered origination that arrives inside the rate limit is
+        *deferred*, not lost: the pending flag makes the next maintenance
+        tick retry, so topology changes are advertised at most
+        ``lsa_min_interval + route_recompute_interval`` late.
+        """
+        if now - self._last_origination < self.config.lsa_min_interval:
+            self._origination_pending = True
+            return
+        self._last_origination = now
+        self._origination_pending = False
+        self.lsa_sequence_number += 1
+        lsa = LsrLsa(
+            origin=self.node_id,
+            sequence_number=self.lsa_sequence_number,
+            links=tuple(_sorted_ids(self._live_neighbors())),
+            ttl=self.config.lsa_ttl,
+        )
+        self.seen_lsas.add((self.node_id, self.lsa_sequence_number))
+        self.node.send_broadcast(
+            self.make_control_packet(self.node_id, lsa, CONTROL_SIZES["tc"])
+        )
+
+    def _route_maintenance(self, now: float) -> None:
+        if self._origination_pending:
+            self._originate_lsa(now)
+        if not self.config.incremental_routes or self._routes_dirty:
+            self._recompute_routes()
+            return
+        if now < self._routes_valid_until:
+            return
+        # Revalidate the horizon: only an entry that died since the last
+        # SPF invalidates the table (expiry inside (computed_at, now]).
+        computed_at = self._routes_computed_at
+        horizon = _NEVER
+        for expiry in self.neighbors.values():
+            if expiry <= now:
+                if expiry > computed_at:
+                    self._recompute_routes()
+                    return
+            elif expiry < horizon:
+                horizon = expiry
+        for entry in self.lsdb.values():
+            expiry = entry.expires_at
+            if expiry <= now:
+                if expiry > computed_at:
+                    self._recompute_routes()
+                    return
+            elif expiry < horizon:
+                horizon = expiry
+        self._routes_valid_until = horizon
+
+    # -- link-state database -----------------------------------------------------------
+
+    def _live_neighbors(self) -> Set[NodeId]:
+        now = self.clock.now
+        return {n for n, expiry in self.neighbors.items() if expiry > now}
+
+    def _live_lsdb(self) -> Dict[NodeId, Set[NodeId]]:
+        """origin -> advertised link set, max-aged entries excluded."""
+        now = self.clock.now
+        return {
+            origin: entry.links
+            for origin, entry in self.lsdb.items()
+            if entry.expires_at > now
+        }
+
+    # -- SPF ---------------------------------------------------------------------------
+
+    def _recompute_routes(self) -> None:
+        """Dijkstra over bidirectional links, in deterministic sorted order.
+
+        Hop-count metric makes Dijkstra a BFS; the two-way check means an
+        edge (a, b) exists only when a's link set names b *and* b's names a
+        (this node's own adjacency counts as its advertisement).  All
+        frontier and neighbour iteration is sorted so the resulting table
+        depends only on the LSDB contents, never on arrival order — the
+        cross-runtime parity property.
+        """
+        now = self.clock.now
+        live_neighbors = self._live_neighbors()
+        advertised: Dict[NodeId, Set[NodeId]] = {
+            origin: set(links) for origin, links in self._live_lsdb().items()
+        }
+        advertised[self.node_id] = set(live_neighbors)
+
+        def linked(a: NodeId, b: NodeId) -> bool:
+            links_a = advertised.get(a)
+            links_b = advertised.get(b)
+            return (
+                links_a is not None
+                and links_b is not None
+                and b in links_a
+                and a in links_b
+            )
+
+        table: Dict[NodeId, NodeId] = {}
+        frontier = [n for n in _sorted_ids(live_neighbors) if linked(self.node_id, n)]
+        for neighbor in frontier:
+            table[neighbor] = neighbor
+        visited = set(frontier)
+        visited.add(self.node_id)
+        while frontier:
+            next_frontier: List[NodeId] = []
+            for node in frontier:
+                first_hop = table[node]
+                for neighbor in _sorted_ids(advertised.get(node, ())):
+                    if neighbor in visited or not linked(node, neighbor):
+                        continue
+                    visited.add(neighbor)
+                    table[neighbor] = first_hop
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+        self.routing_table = table
+        if self.config.incremental_routes:
+            valid_until = _NEVER
+            for expiry in self.neighbors.values():
+                if now < expiry < valid_until:
+                    valid_until = expiry
+            for entry in self.lsdb.values():
+                if now < entry.expires_at < valid_until:
+                    valid_until = entry.expires_at
+            self._routes_valid_until = valid_until
+            self._routes_computed_at = now
+            self._routes_dirty = False
+
+    def next_hop(self, destination: NodeId) -> Optional[NodeId]:
+        """The current first hop toward ``destination``, if reachable."""
+        return self.routing_table.get(destination)
+
+    # -- application data --------------------------------------------------------------
+
+    def originate_data(self, packet: Packet) -> None:
+        if self.deliver_or_forward_hook(packet):
+            return
+        next_hop = self.next_hop(packet.destination)
+        if next_hop is None:
+            self.data_drops += 1
+            return
+        self.node.send_unicast(packet, next_hop)
+
+    # -- packet handling ---------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet, from_node: NodeId) -> None:
+        if packet.is_data:
+            self._handle_data(packet, from_node)
+            return
+        payload = packet.payload
+        if isinstance(payload, LsrHello):
+            self._handle_hello(payload)
+        elif isinstance(payload, LsrLsa):
+            self._handle_lsa(payload)
+
+    def _handle_data(self, packet: Packet, from_node: NodeId) -> None:
+        if self.deliver_or_forward_hook(packet):
+            return
+        next_hop = self.next_hop(packet.destination)
+        # Split horizon + hop limit: link-state tables can transiently loop.
+        if (
+            next_hop is None
+            or next_hop == from_node
+            or packet.hops > self.config.hop_limit
+        ):
+            self.data_drops += 1
+            return
+        self.node.send_unicast(packet.copy_for_forwarding(), next_hop)
+
+    def _handle_hello(self, hello: LsrHello) -> None:
+        now = self.clock.now
+        previous = self.neighbors.get(hello.origin)
+        came_up = previous is None or previous <= now
+        self.neighbors[hello.origin] = now + self.config.neighbor_hold_time
+        if came_up:
+            self._routes_dirty = True
+            # Triggered origination: advertise the new adjacency now rather
+            # than waiting out the refresh interval.
+            self._originate_lsa(now)
+
+    def _handle_lsa(self, lsa: LsrLsa) -> None:
+        if lsa.origin == self.node_id:
+            return
+        key = (lsa.origin, lsa.sequence_number)
+        if key in self.seen_lsas:
+            self.duplicate_lsa_drops += 1
+            return
+        self.seen_lsas.add(key)
+        if lsa.ttl <= 0:
+            self.ttl_expired_drops += 1
+            return
+        now = self.clock.now
+        existing = self.lsdb.get(lsa.origin)
+        # OSPF discipline: install only strictly newer LSAs — unless the
+        # stored one already max-aged out, in which case any live LSA
+        # (e.g. from a rebooted origin) revives the row.
+        if (
+            existing is None
+            or lsa.sequence_number > existing.sequence_number
+            or existing.expires_at <= now
+        ):
+            links = set(lsa.links)
+            if (
+                existing is None
+                or existing.expires_at <= now
+                or links != existing.links
+            ):
+                self._routes_dirty = True
+            self.lsdb[lsa.origin] = LsdbEntry(
+                links=links,
+                sequence_number=lsa.sequence_number,
+                expires_at=now + self.config.lsa_max_age,
+            )
+        # Flood on regardless of install: neighbours we relay for may not
+        # have seen this (origin, seq) yet even when we already had it.
+        relayed = LsrLsa(
+            origin=lsa.origin,
+            sequence_number=lsa.sequence_number,
+            links=lsa.links,
+            ttl=lsa.ttl - 1,
+        )
+        self.node.send_broadcast(
+            self.make_control_packet(self.node_id, relayed, CONTROL_SIZES["tc"])
+        )
+
+    def handle_link_failure(self, packet: Packet, next_hop: NodeId) -> None:
+        now = self.clock.now
+        if self.neighbors.pop(next_hop, None) is not None:
+            self._routes_dirty = True
+            # The adjacency died: advertise the loss immediately.
+            self._originate_lsa(now)
+        self._recompute_routes()
+        if packet.is_data:
+            alternative = self.next_hop(packet.destination)
+            if alternative is not None and alternative != next_hop:
+                self.node.send_unicast(packet, alternative)
+            else:
+                self.data_drops += 1
+
+    # -- metrics -----------------------------------------------------------------------
+
+    def sequence_number_metric(self) -> int:
+        """LSR is not part of Fig. 7's sequence-number comparison."""
+        return 0

@@ -108,13 +108,13 @@ class OlsrProtocol(RoutingProtocol):
         offset = (hash(self.node_id) % 1000) / 1000.0
         config = self.config
         PeriodicTimer(
-            self.simulator, config.hello_interval, self._emit_hello
+            self.clock, config.hello_interval, self._emit_hello
         ).start(first_delay=offset * config.hello_interval)
-        PeriodicTimer(self.simulator, config.tc_interval, self._emit_tc).start(
+        PeriodicTimer(self.clock, config.tc_interval, self._emit_tc).start(
             first_delay=offset * config.tc_interval
         )
         PeriodicTimer(
-            self.simulator, config.route_recompute_interval, self._route_maintenance
+            self.clock, config.route_recompute_interval, self._route_maintenance
         ).start()
 
     def _emit_hello(self, now: float) -> None:
@@ -184,11 +184,11 @@ class OlsrProtocol(RoutingProtocol):
     # -- neighbour / topology state ----------------------------------------------------
 
     def _live_neighbors(self) -> Set[NodeId]:
-        now = self.simulator.now
+        now = self.clock.now
         return {n for n, expiry in self.neighbors.items() if expiry > now}
 
     def _live_topology(self) -> Dict[NodeId, Set[NodeId]]:
-        now = self.simulator.now
+        now = self.clock.now
         return {
             origin: neighbors
             for origin, (neighbors, expiry, _) in self.topology.items()
@@ -206,7 +206,7 @@ class OlsrProtocol(RoutingProtocol):
         adjacency seed, the reverse-edge pass and the initial frontier
         changes nothing but the cost.
         """
-        now = self.simulator.now
+        now = self.clock.now
         live_neighbors = self._live_neighbors()
         adjacency: Dict[NodeId, Set[NodeId]] = {self.node_id: set(live_neighbors)}
         adjacency_setdefault = adjacency.setdefault
@@ -244,7 +244,7 @@ class OlsrProtocol(RoutingProtocol):
         if self.config.incremental_routes:
             # The table stays exact until the first live entry can expire —
             # or until a dirty-marking update lands, whichever comes first.
-            now = self.simulator.now
+            now = self.clock.now
             valid_until = _NEVER
             for expiry in self.neighbors.values():
                 if now < expiry < valid_until:
@@ -297,7 +297,7 @@ class OlsrProtocol(RoutingProtocol):
         self.node.send_unicast(packet.copy_for_forwarding(), next_hop)
 
     def _handle_hello(self, hello: OlsrHello) -> None:
-        now = self.simulator.now
+        now = self.clock.now
         previous = self.neighbors.get(hello.origin)
         if previous is None or previous <= now:
             # An unknown or expired neighbour became live: the next route
@@ -314,7 +314,7 @@ class OlsrProtocol(RoutingProtocol):
         self.seen_tcs.add(key)
         existing = self.topology.get(tc.origin)
         if existing is None or tc.sequence_number >= existing[2]:
-            now = self.simulator.now
+            now = self.clock.now
             advertised = set(tc.advertised_neighbors)
             changed = (
                 existing is None

@@ -100,7 +100,7 @@ class SrpProtocol(RoutingProtocol):
     def attach(self, node) -> None:
         super().attach(node)
         self.discovery = DiscoveryController(
-            node.simulator,
+            node.clock,
             send_request=self._initiate_solicitation,
             give_up=self._discovery_failed,
             timeout=self.config.discovery_timeout,
@@ -115,7 +115,7 @@ class SrpProtocol(RoutingProtocol):
             0.0,
         )
         PeriodicTimer(
-            self.simulator, self.config.maintenance_interval, self._maintenance
+            self.clock, self.config.maintenance_interval, self._maintenance
         ).start()
 
     def _maintenance(self, now: float) -> None:
@@ -142,7 +142,7 @@ class SrpProtocol(RoutingProtocol):
     def on_node_up(self) -> None:
         """Reboot: restore the node's own ordering (Definition 7)."""
         self.table.set_own_ordering(
-            self.node_id, self._self_ordering(), self.simulator.now
+            self.node_id, self._self_ordering(), self.clock.now
         )
 
     # -- own ordering helpers --------------------------------------------------------
@@ -175,7 +175,7 @@ class SrpProtocol(RoutingProtocol):
         self.discovery.begin(packet.destination)
 
     def _forward_data(self, packet: Packet, next_hop: NodeId) -> None:
-        self.table.refresh_successor(packet.destination, next_hop, self.simulator.now)
+        self.table.refresh_successor(packet.destination, next_hop, self.clock.now)
         self.node.send_unicast(packet, next_hop)
 
     # -- MAC callbacks -----------------------------------------------------------------
@@ -265,7 +265,7 @@ class SrpProtocol(RoutingProtocol):
             source_ordering=self._self_ordering(),
             ttl=self.config.rreq_ttl,
         )
-        self.rreq_cache.activate(self.node_id, rreq_id, self.simulator.now)
+        self.rreq_cache.activate(self.node_id, rreq_id, self.clock.now)
         packet = self.make_control_packet(destination, rreq, CONTROL_SIZES["rreq"])
         self.node.send_broadcast(packet)
 
@@ -298,7 +298,7 @@ class SrpProtocol(RoutingProtocol):
         entry = self.rreq_cache.try_engage(
             rreq.source,
             rreq.rreq_id,
-            self.simulator.now,
+            self.clock.now,
             last_hop=from_node,
             cached_ordering=rreq.requested_ordering,
         )
@@ -349,7 +349,7 @@ class SrpProtocol(RoutingProtocol):
             from_node,
             advertised,
             rreq.traversed_distance + 1.0,
-            self.simulator.now,
+            self.clock.now,
             lifetime=rreq.lifetime,
         )
         self.table.drop_out_of_order_successors(source)
@@ -527,7 +527,7 @@ class SrpProtocol(RoutingProtocol):
             from_node,
             advertised,
             distance,
-            self.simulator.now,
+            self.clock.now,
             lifetime=rrep.lifetime,
         )
         self.table.drop_out_of_order_successors(destination)
@@ -587,7 +587,7 @@ class SrpProtocol(RoutingProtocol):
             source_ordering=self._self_ordering(),
             ttl=self.config.rreq_ttl,
         )
-        self.rreq_cache.activate(self.node_id, rreq.rreq_id, self.simulator.now)
+        self.rreq_cache.activate(self.node_id, rreq.rreq_id, self.clock.now)
         packet = self.make_control_packet(destination, rreq, CONTROL_SIZES["rreq"])
         self.node.send_unicast(packet, next_hop)
 

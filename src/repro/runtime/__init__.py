@@ -1,0 +1,15 @@
+"""Execution runtimes for the routing protocols.
+
+``repro.runtime.base`` defines the seam (:class:`Clock`, :class:`Runtime`)
+that both the discrete-event simulator and the live asyncio daemons
+implement; ``repro.runtime.live`` is the live implementation (UDP and
+in-process loopback transports plus the soak harness).
+
+Only the seam is imported here: ``repro.protocols`` depends on this package
+at import time, and the live module depends on ``repro.protocols`` in turn,
+so eagerly importing ``live`` would create an import cycle.
+"""
+
+from .base import Clock, Runtime, TimerHandle
+
+__all__ = ["Clock", "Runtime", "TimerHandle"]

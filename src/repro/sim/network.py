@@ -141,7 +141,7 @@ def build_network(
             use_frame_pool=fp.frame_pool,
             mac_model=engine_tuning.mac_model,
         )
-        node = Node(node_id, simulator, mobility, mac, stats)
+        node = Node(node_id, simulator, mobility, mac, stats, rng_streams=streams)
         nodes[node_id] = node
         node.attach_protocol(protocol_factory(node_id))
         if fp.mobility_segments:

@@ -6,12 +6,20 @@ the shared channel, and a routing-protocol instance.  Application traffic
 :meth:`Node.originate_data`; the routing protocol eventually calls back into
 :meth:`Node.deliver_data` at the destination, which records delivery and
 latency in the trial statistics.
+
+``Node`` is the simulator's implementation of the
+:class:`~repro.runtime.base.Runtime` seam: its ``clock`` is the
+:class:`Simulator` itself (which satisfies the ``Clock`` protocol verbatim),
+and all time reads on the statistics paths go through ``self.clock.now`` so
+the node-side code has no sim-specific time dependency.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Hashable, Optional, TYPE_CHECKING
 
+from ..runtime.base import Runtime
 from .engine import Simulator
 from .mac import Mac
 from .mobility import MobilityModel
@@ -20,13 +28,14 @@ from .stats import TrialStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..protocols.base import RoutingProtocol
+    from .rng import RngStreams
 
 __all__ = ["Node"]
 
 NodeId = Hashable
 
 
-class Node:
+class Node(Runtime):
     """One wireless node participating in a trial."""
 
     def __init__(
@@ -36,12 +45,17 @@ class Node:
         mobility: MobilityModel,
         mac: Mac,
         stats: TrialStats,
+        rng_streams: Optional["RngStreams"] = None,
     ) -> None:
         self.node_id = node_id
         self.simulator = simulator
+        # The Runtime clock: the simulator object itself (same reference, so
+        # protocols scheduling through ``clock`` hit identical engine state).
+        self.clock = simulator
         self.mobility = mobility
         self.mac = mac
         self.stats = stats
+        self._rng_streams = rng_streams
         self.protocol: Optional["RoutingProtocol"] = None
         # Fault-injection lifecycle flag; while down the node neither
         # originates traffic nor transmits (see go_down/go_up).
@@ -54,6 +68,12 @@ class Node:
         self.protocol = protocol
         protocol.attach(self)
         self.mac.set_handlers(protocol.handle_packet, protocol.handle_link_failure)
+
+    def rng(self, name: str = "protocol") -> random.Random:
+        """Deterministic per-node stream derived from the trial seed."""
+        if self._rng_streams is None:
+            return super().rng(name)
+        return self._rng_streams.get(f"{name}:{self.node_id!r}")
 
     # -- fault lifecycle ---------------------------------------------------------------
 
@@ -88,7 +108,7 @@ class Node:
         Uses the mobility model's allocation-free tuple fast path; the
         channel calls this once per node per distinct timestamp.
         """
-        return self.mobility.position_at_xy(self.simulator.now)
+        return self.mobility.position_at_xy(self.clock.now)
 
     # -- application data path ---------------------------------------------------------
 
@@ -107,15 +127,15 @@ class Node:
             source=self.node_id,
             destination=destination,
             size_bytes=size_bytes,
-            created_at=self.simulator.now,
+            created_at=self.clock.now,
             flow_id=flow_id,
         )
-        self.stats.record_data_sent(self.simulator.now)
+        self.stats.record_data_sent(self.clock.now)
         self.protocol.originate_data(packet)
 
     def deliver_data(self, packet: Packet) -> None:
         """Called by the routing protocol when a data packet reaches this node."""
-        latency = self.simulator.now - packet.created_at
+        latency = self.clock.now - packet.created_at
         self.stats.record_data_delivered(
             packet.uid, latency, created_at=packet.created_at
         )
@@ -127,7 +147,7 @@ class Node:
         if self.is_down:
             return
         if packet.is_control:
-            self.stats.record_control_transmission(self.simulator.now)
+            self.stats.record_control_transmission(self.clock.now)
         self.mac.send(packet, next_hop)
 
     def send_broadcast(self, packet: Packet) -> None:
@@ -135,5 +155,5 @@ class Node:
         if self.is_down:
             return
         if packet.is_control:
-            self.stats.record_control_transmission(self.simulator.now)
+            self.stats.record_control_transmission(self.clock.now)
         self.mac.send(packet, None)

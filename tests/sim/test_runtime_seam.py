@@ -1,0 +1,93 @@
+"""The Runtime-seam refactor must be invisible to the simulator.
+
+``golden_seed_summaries.json`` was captured from the tree *before* the
+:mod:`repro.runtime` seam existed (protocols talked to a concrete
+``Simulator``/``Node`` pair).  These tests re-run the same smoke-scale cells
+through the refactored stack and require bit-identical ``TrialSummary``
+dicts *and* engine event counts — the API redesign's "all five protocols
+stay bit-identical" acceptance criterion, pinned to concrete numbers rather
+than an off/on self-comparison.
+
+They double as the conformance suite for the seam itself: the simulator
+must satisfy :class:`~repro.runtime.base.Clock` structurally and ``Node``
+must be a :class:`~repro.runtime.base.Runtime`.
+"""
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.paper import EvaluationScale
+from repro.protocols import protocol_factory
+from repro.runtime.base import Clock, Runtime, TimerHandle
+from repro.sim.engine import Simulator
+from repro.sim.network import build_network
+
+GOLDEN_PATH = Path(__file__).parent / "golden_seed_summaries.json"
+
+
+def _golden_cells():
+    with GOLDEN_PATH.open() as f:
+        data = json.load(f)
+    assert data["scale"] == "smoke"
+    return data["cells"]
+
+
+GOLDEN_CELLS = _golden_cells()
+
+
+@pytest.mark.parametrize("cell_key", sorted(GOLDEN_CELLS))
+def test_summary_bit_identical_to_pre_seam_capture(cell_key):
+    protocol, _, pause_part = cell_key.partition(":pause=")
+    pause = float(pause_part)
+    scenario = EvaluationScale.smoke().scenario.with_pause_time(pause)
+    net = build_network(scenario, protocol_factory(protocol))
+    summary = net.run()
+    expected = GOLDEN_CELLS[cell_key]
+    assert summary.to_dict() == expected["summary"]
+    assert net.simulator.events_processed == expected["events_processed"]
+
+
+def test_golden_file_covers_all_five_protocols_and_both_pauses():
+    protocols = {key.split(":")[0] for key in GOLDEN_CELLS}
+    assert protocols == {"SRP", "LDR", "AODV", "DSR", "OLSR"}
+    assert len(GOLDEN_CELLS) == 10
+
+
+class TestRuntimeConformance:
+    def test_simulator_satisfies_clock_protocol(self):
+        sim = Simulator()
+        assert isinstance(sim, Clock)
+        handle = sim.schedule_in(1.0, lambda: None)
+        assert isinstance(handle, TimerHandle)
+        handle.cancel()
+
+    def test_node_is_a_runtime_with_the_simulator_as_clock(self):
+        scenario = EvaluationScale.smoke().scenario
+        net = build_network(scenario, protocol_factory("SRP"))
+        node = next(iter(net.nodes.values()))
+        assert isinstance(node, Runtime)
+        assert node.clock is net.simulator
+
+    def test_node_rng_is_seed_deterministic(self):
+        scenario = EvaluationScale.smoke().scenario
+        nets = [
+            build_network(scenario, protocol_factory("SRP")) for _ in range(2)
+        ]
+        draws = []
+        for net in nets:
+            node = net.nodes[0]
+            rng = node.rng("test-stream")
+            assert isinstance(rng, random.Random)
+            draws.append([rng.random() for _ in range(4)])
+        assert draws[0] == draws[1]
+
+    def test_protocol_clock_accessor_is_the_runtime_clock(self):
+        scenario = EvaluationScale.smoke().scenario
+        net = build_network(scenario, protocol_factory("OLSR"))
+        node = next(iter(net.nodes.values()))
+        assert node.protocol.clock is node.clock
+        # Backward-compatible alias kept during the transition.
+        assert node.protocol.simulator is node.clock

@@ -1,0 +1,103 @@
+"""Import hygiene of the runtime seam.
+
+``repro.protocols`` and ``repro.runtime`` are the runtime-agnostic side of
+the seam: the same code runs under the discrete-event simulator and as live
+asyncio daemons, so it must not import simulator machinery.  Three
+``repro.sim`` modules are explicitly *allowed* because they are pure data
+models shared by both runtimes:
+
+* ``repro.sim.packet`` — the Packet/Frame wire model,
+* ``repro.sim.stats``  — trial statistics and summaries,
+* ``repro.sim.rng``    — deterministic seed-derived RNG streams.
+
+Everything else under ``repro.sim`` (engine, node, mac, channel, network,
+mobility, spatial index, event queues, faults, tuning, ...) is sim-only: an
+import of it from the runtime-agnostic side is a seam leak, caught here by
+walking the AST of every module rather than by convention.  This is the
+enforcement half of the rule that node/protocol statistics paths read time
+only through the runtime ``clock`` accessor.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Packages whose modules must stay runnable under any Runtime.
+RUNTIME_AGNOSTIC_PACKAGES = ("protocols", "runtime")
+
+#: repro.sim submodules that are runtime-agnostic data models.
+ALLOWED_SIM_MODULES = {"packet", "stats", "rng"}
+
+
+def _absolute_module(node: ast.ImportFrom, package_parts) -> str:
+    """Resolve a possibly-relative ``from X import Y`` to an absolute module."""
+    if node.level == 0:
+        return node.module or ""
+    base = package_parts[: len(package_parts) - (node.level - 1)]
+    if node.module:
+        return ".".join(list(base) + [node.module])
+    return ".".join(base)
+
+
+def _sim_imports(path: Path):
+    """Every repro.sim submodule imported at the top level of ``path``."""
+    relative = path.relative_to(SRC.parent).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    package_parts = parts[:-1] if path.name != "__init__.py" else parts
+
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.name
+                if name.startswith("repro.sim"):
+                    found.append((name, node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            module = _absolute_module(node, package_parts)
+            if module == "repro.sim":
+                for alias in node.names:
+                    found.append((f"repro.sim.{alias.name}", node.lineno))
+            elif module.startswith("repro.sim."):
+                found.append((module, node.lineno))
+    return found
+
+
+def test_runtime_agnostic_code_imports_no_simulator_machinery():
+    violations = []
+    for package in RUNTIME_AGNOSTIC_PACKAGES:
+        for path in sorted((SRC / package).rglob("*.py")):
+            for module, lineno in _sim_imports(path):
+                submodule = module.split(".")[2] if module.count(".") >= 2 else ""
+                if submodule not in ALLOWED_SIM_MODULES:
+                    violations.append(
+                        f"{path.relative_to(SRC.parent)}:{lineno} imports "
+                        f"{module} (sim-only; allowed: "
+                        f"{sorted(ALLOWED_SIM_MODULES)})"
+                    )
+    assert not violations, "runtime seam leaks:\n" + "\n".join(violations)
+
+
+def test_the_checker_sees_the_legitimate_imports():
+    # Self-test: the walker must actually find imports, or a refactor that
+    # breaks its resolution logic would green-light everything.
+    found = [
+        module
+        for path in sorted((SRC / "runtime").rglob("*.py"))
+        for module, _ in _sim_imports(path)
+    ]
+    assert "repro.sim.packet" in found
+    assert "repro.sim.stats" in found
+
+
+def test_sim_node_reads_time_through_the_clock_accessor():
+    # The statistics paths in the sim Node must go through ``self.clock.now``
+    # (the Runtime seam), never ``self.simulator.now`` — the live node has no
+    # simulator at all, and the seam's bit-identity rests on both runtimes
+    # sharing one time accessor.
+    source = (SRC / "sim" / "node.py").read_text(encoding="utf-8")
+    assert "self.simulator.now" not in source
+    assert "self.clock.now" in source
