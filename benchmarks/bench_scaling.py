@@ -18,13 +18,16 @@ Runable two ways:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.protocols import protocol_factory
 from repro.sim.network import build_network
+from repro.sim.tuning import EngineTuning
 from repro.workloads.scenario import scaled_scenario
 
 #: The sweep: laptop scale, the paper's two evaluation sizes, and 2x paper.
@@ -53,10 +56,28 @@ def scaling_scenario(node_count: int, *, duration: float = 25.0, seed: int = 31)
     )
 
 
-def run_point(node_count: int, *, duration: float = 25.0, protocol: str = "SRP"):
-    """Run one sweep point; returns (wall_seconds, events, summary)."""
+def run_point(
+    node_count: int,
+    *,
+    duration: float = 25.0,
+    protocol: str = "SRP",
+    shards: int = 0,
+):
+    """Run one sweep point; returns (wall_seconds, events, summary).
+
+    ``shards > 0`` runs the point on the sharded PDES backend with that
+    shard count (the trial is bit-identical; only the wall clock differs),
+    adding a shard-count axis to the scaling table.
+    """
+    tuning = (
+        EngineTuning(engine_backend="sharded", shard_count=shards)
+        if shards > 0
+        else None
+    )
     network = build_network(
-        scaling_scenario(node_count, duration=duration), protocol_factory(protocol)
+        scaling_scenario(node_count, duration=duration),
+        protocol_factory(protocol),
+        tuning=tuning,
     )
     start = time.perf_counter()
     summary = network.run()
@@ -77,6 +98,36 @@ def bench_scaling_srp(benchmark, node_count):
     assert summary.data_sent > 0
 
 
+def _scaling_record(node_count, duration, protocol, shards, elapsed, events, summary):
+    """One trajectory record for a scaling point, bench_trial_profile-shaped.
+
+    The record keys read ``scaling200`` (serial) / ``scaling200+sharded4``,
+    so the node-count x shard-count grid lives in BENCH_5.json beside the
+    per-scale records and the same ``--check`` machinery gates both.
+    """
+    from bench_trial_profile import _git_commit
+
+    return {
+        "scale": f"scaling{node_count}",
+        "pause_time": 0.0,
+        "node_count": node_count,
+        "duration": duration,
+        "event_queue": "calendar",
+        "mac_model": "poll",
+        "engine_backend": "sharded" if shards > 0 else "serial",
+        "shard_count": shards,
+        "commit": _git_commit(),
+        "protocols": {
+            protocol: {
+                "seconds": round(elapsed, 3),
+                "events": events,
+                "events_per_second": round(events / elapsed, 1) if elapsed else 0.0,
+                "delivery_ratio": round(summary.delivery_ratio, 4),
+            }
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -85,27 +136,75 @@ def main(argv=None) -> int:
         action="append",
         help="node count to run (repeatable; default: the full sweep)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        action="append",
+        metavar="K",
+        help="also run each point on the sharded PDES backend with K shards "
+        "(repeatable; 0 = the serial engine, the default single axis)",
+    )
     parser.add_argument("--duration", type=float, default=25.0)
     parser.add_argument("--protocol", default="SRP")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="merge per-point trajectory records into PATH (e.g. BENCH_5.json)",
+    )
     args = parser.parse_args(argv)
     counts = tuple(args.nodes) if args.nodes else NODE_COUNTS
+    shard_axis = tuple(args.shards) if args.shards else (0,)
 
-    print(f"{'nodes':>6} {'wall s':>8} {'events':>10} {'events/s':>10} {'delivery':>9}")
+    # bench_trial_profile owns the trajectory-record machinery; the
+    # benchmarks directory is only on sys.path when run under pytest.
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+    records = []
+    print(
+        f"{'nodes':>6} {'shards':>6} {'wall s':>8} {'events':>10} "
+        f"{'events/s':>10} {'delivery':>9}"
+    )
     for node_count in counts:
-        try:
-            elapsed, events, summary = run_point(
-                node_count, duration=args.duration, protocol=args.protocol
+        for shards in shard_axis:
+            try:
+                elapsed, events, summary = run_point(
+                    node_count,
+                    duration=args.duration,
+                    protocol=args.protocol,
+                    shards=shards,
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(
+                f"{node_count:>6} {shards or '-':>6} {elapsed:>8.2f} {events:>10} "
+                f"{events / elapsed:>10.0f} {summary.delivery_ratio:>9.3f}"
             )
-        except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        print(
-            f"{node_count:>6} {elapsed:>8.2f} {events:>10} "
-            f"{events / elapsed:>10.0f} {summary.delivery_ratio:>9.3f}"
-        )
-        if summary.data_sent <= 0:
-            print("error: trial originated no data packets", file=sys.stderr)
-            return 1
+            if summary.data_sent <= 0:
+                print("error: trial originated no data packets", file=sys.stderr)
+                return 1
+            records.append(
+                _scaling_record(
+                    node_count, args.duration, args.protocol, shards,
+                    elapsed, events, summary,
+                )
+            )
+
+    if args.json is not None:
+        from bench_trial_profile import merge_into_document
+
+        path = Path(args.json)
+        document = None
+        if path.exists():
+            try:
+                document = json.loads(path.read_text(encoding="utf-8"))
+            except ValueError:
+                document = None
+        for record in records:
+            document = merge_into_document(document, record)
+        path.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")
+        print(f"({len(records)} scaling record(s) merged into {path})")
     return 0
 
 

@@ -109,12 +109,19 @@ def build_record(
     repeat: int = 1,
     event_queue: str = "calendar",
     mac_model: str = "poll",
+    engine_backend: str = "serial",
+    shard_count: int = 0,
 ) -> Dict:
     """Measure every protocol point and assemble one configuration's record."""
     scale = resolve_scale(scale_name)
     pause_time = pause if pause is not None else scale.pause_times[0]
     scenario = scale.scenario.with_pause_time(pause_time)
-    tuning = EngineTuning(event_queue=event_queue, mac_model=mac_model)
+    tuning = EngineTuning(
+        event_queue=event_queue,
+        mac_model=mac_model,
+        engine_backend=engine_backend,
+        shard_count=shard_count,
+    )
     record: Dict = {
         "scale": scale.name,
         "pause_time": pause_time,
@@ -122,6 +129,8 @@ def build_record(
         "duration": scenario.duration,
         "event_queue": event_queue,
         "mac_model": mac_model,
+        "engine_backend": engine_backend,
+        "shard_count": tuning.resolved_shard_count() if engine_backend != "serial" else 0,
         "commit": _git_commit(),
         "protocols": {},
     }
@@ -148,13 +157,15 @@ def record_key(record: Dict) -> str:
     The engine's default configuration (calendar queue, poll MAC) keeps the
     bare scale name — so the committed baseline history stays comparable —
     and non-default axes are appended: ``paper-tier+frozen``,
-    ``smoke+heap``, ``smoke+heap+frozen``.
+    ``smoke+heap``, ``smoke+heap+frozen``, ``smoke+sharded2``.
     """
     key = record["scale"]
     if record.get("event_queue", "calendar") != "calendar":
         key += f"+{record['event_queue']}"
     if record.get("mac_model", "poll") != "poll":
         key += f"+{record['mac_model']}"
+    if record.get("engine_backend", "serial") != "serial":
+        key += f"+{record['engine_backend']}{record.get('shard_count', 0)}"
     return key
 
 
@@ -206,7 +217,12 @@ def _print_record(record: Dict) -> None:
         f"scale={record['scale']} pause={record['pause_time']:g} "
         f"queue={record.get('event_queue', 'calendar')} "
         f"mac={record.get('mac_model', 'poll')} "
-        f"({record['node_count']} nodes, {record['duration']:g}s simulated, "
+        + (
+            f"backend={record['engine_backend']}x{record.get('shard_count', 0)} "
+            if record.get("engine_backend", "serial") != "serial"
+            else ""
+        )
+        + f"({record['node_count']} nodes, {record['duration']:g}s simulated, "
         f"commit {record['commit'] or '?'})"
     )
     header = (
@@ -311,6 +327,20 @@ def main(argv=None) -> int:
         help="MAC backoff model to measure (default: poll); non-default "
         "axes get their own trajectory record (e.g. 'paper-tier+frozen')",
     )
+    parser.add_argument(
+        "--engine-backend",
+        choices=("serial", "sharded"),
+        default="serial",
+        help="engine backend to measure (default: serial); the sharded "
+        "backend gets its own record (e.g. 'smoke+sharded2')",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="K",
+        help="shard count for the sharded backend (0 = auto from cores)",
+    )
     args = parser.parse_args(argv)
 
     record = build_record(
@@ -321,6 +351,8 @@ def main(argv=None) -> int:
         repeat=args.repeat,
         event_queue=args.queue,
         mac_model=args.mac,
+        engine_backend=args.engine_backend,
+        shard_count=args.shards,
     )
     _print_record(record)
 

@@ -298,7 +298,26 @@ def _execute_and_collect(
     return _report_quarantined(store, jobs)
 
 
+def _apply_backend_env(args: argparse.Namespace) -> None:
+    """Propagate ``--engine-backend`` / ``--shards`` via the environment.
+
+    ``build_network`` resolves its default tuning through
+    :meth:`EngineTuning.from_env`, so setting the variables here reaches
+    in-process trials and spawned pool workers alike — the same seam the CI
+    ``pdes-smoke`` job flips without any flag at all.
+    """
+    import os
+
+    from ..sim.tuning import ENGINE_BACKEND_ENV, SHARD_COUNT_ENV
+
+    if getattr(args, "engine_backend", None):
+        os.environ[ENGINE_BACKEND_ENV] = args.engine_backend
+    if getattr(args, "shards", None) is not None:
+        os.environ[SHARD_COUNT_ENV] = str(args.shards)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    _apply_backend_env(args)
     scale = _apply_faults(resolve_scale(args.scale, trials=args.trials), args.faults)
     protocols: Sequence[str] = tuple(args.protocols or PAPER_PROTOCOLS)
     store = ResultsStore(args.out)
@@ -693,7 +712,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if args.faults is not None:
         scenario = scenario.with_faults(fault_preset(args.faults, scenario))
     fast_paths = FastPaths.none() if args.fast_paths == "off" else FastPaths()
-    tuning = EngineTuning(event_queue=args.queue, mac_model=args.mac)
+    tuning = EngineTuning(
+        event_queue=args.queue,
+        mac_model=args.mac,
+        engine_backend=args.engine_backend or "serial",
+        shard_count=args.shards if args.shards is not None else 0,
+    )
     protocols = args.protocol or ["OLSR"]
     profiles = []
     for protocol in protocols:
@@ -824,6 +848,24 @@ def build_parser() -> argparse.ArgumentParser:
             "with a clean store)",
         )
 
+    def add_backend_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--engine-backend",
+            choices=("serial", "sharded"),
+            default=None,
+            help="engine backend for every trial: the serial engine or the "
+            "spatially sharded conservative PDES (bit-identical; default: "
+            "serial, or $REPRO_ENGINE_BACKEND)",
+        )
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            metavar="K",
+            help="shard count for the sharded backend (0 = auto from cores; "
+            "default: $REPRO_SHARD_COUNT or auto)",
+        )
+
     run = sub.add_parser("run", help="plan and run a sweep (reusing stored cells)")
     run.add_argument(
         "--scale",
@@ -845,6 +887,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_exec_args(run)
     add_policy_args(run)
     add_faults_arg(run)
+    add_backend_args(run)
     run.set_defaults(func=_cmd_run)
 
     resume = sub.add_parser(
@@ -1175,6 +1218,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="MAC backoff model to profile: the polling carrier-sense "
         "loop or the event-driven freeze/resume model (default: poll)",
     )
+    add_backend_args(profile)
     profile.add_argument(
         "--alloc",
         action="store_true",

@@ -72,6 +72,7 @@ def reference_protocol_factory(protocol: str):
 #: before general ones.
 _LAYER_RULES: Tuple[Tuple[str, str], ...] = (
     ("repro/sim/eventq", "engine.queue"),
+    ("repro/sim/pdes", "engine"),
     ("repro/sim/engine", "engine"),
     ("repro/sim/spatial", "channel"),
     ("repro/sim/channel", "channel"),
@@ -111,6 +112,13 @@ _MAC_TIMER_NAMES = frozenset(
     }
 )
 
+#: Sharded-backend functions that are pure synchronization — window-barrier
+#: bookkeeping and the mobility-driven ownership refresh.  Split out as the
+#: ``engine.sync`` sub-layer so a sharded profile shows the conservative-
+#: synchronization overhead next to ``engine.queue``; serial profiles
+#: report it as an all-zero row (KNOWN_LAYERS keeps columns aligned).
+_PDES_SYNC_NAMES = frozenset({"_window_barrier", "_refresh_ownership"})
+
 #: Layers always present in a profile (zero-filled when unexercised), so
 #: trajectory comparisons across commits line up column-for-column.
 #: ``engine.queue`` and ``mac.timers`` are sub-layers: siblings in the
@@ -118,6 +126,7 @@ _MAC_TIMER_NAMES = frozenset(
 KNOWN_LAYERS: Tuple[str, ...] = (
     "engine",
     "engine.queue",
+    "engine.sync",
     "channel",
     "mac",
     "mac.timers",
@@ -148,6 +157,8 @@ def layer_of(filename: str, name: str = "") -> str:
         if fragment in normalized:
             if layer == "mac" and name in _MAC_TIMER_NAMES:
                 return "mac.timers"
+            if layer == "engine" and name in _PDES_SYNC_NAMES:
+                return "engine.sync"
             return layer
     return "other"
 
@@ -189,7 +200,10 @@ class TrialProfile:
     layers: List[LayerCost] = field(default_factory=list)
     event_queue: str = "calendar"
     mac_model: str = "poll"
+    engine_backend: str = "serial"
+    shard_count: int = 0  #: effective shard count; 0 under the serial backend
     faults: Optional[str] = None  #: fault preset name, when the trial is faulted
+    pdes: Optional[Dict[str, Any]] = None  #: PdesSync.report(), sharded runs only
 
     @property
     def profiled_seconds(self) -> float:
@@ -209,7 +223,10 @@ class TrialProfile:
             "fast_paths": self.fast_paths,
             "event_queue": self.event_queue,
             "mac_model": self.mac_model,
+            "engine_backend": self.engine_backend,
+            "shard_count": self.shard_count,
             "faults": self.faults,
+            "pdes": self.pdes,
             "layers": [cost.to_dict() for cost in self.layers],
             "summary": self.summary.to_dict(),
         }
@@ -223,14 +240,29 @@ class TrialProfile:
             f"({self.node_count} nodes, {self.duration:g}s simulated, "
             f"fast paths {'on' if self.fast_paths else 'off'}, "
             f"queue={self.event_queue}, mac={self.mac_model}"
+            + (
+                f", backend={self.engine_backend}x{self.shard_count}"
+                if self.engine_backend != "serial"
+                else ""
+            )
             + (f", faults={self.faults}" if self.faults else "")
             + ")",
             f"  wall {self.wall_seconds:.2f}s (instrumented), "
             f"{self.events_processed} events, "
             f"{self.events_per_second:,.0f} events/s",
-            f"  {'layer':<12} {'seconds':>9} {'share':>7} {'calls':>12}"
-            + ("  alloc KiB" if with_alloc else ""),
         ]
+        if self.pdes is not None:
+            lines.append(
+                f"  sync: {self.pdes['windows']} windows, "
+                f"{self.pdes['handoffs']} handoffs, "
+                f"{self.pdes['boundary_receptions']} boundary receptions, "
+                f"{self.pdes['boundary_busy_marks']} boundary busy marks, "
+                f"{self.pdes['boundary_faults']} boundary faults"
+            )
+        lines.append(
+            f"  {'layer':<12} {'seconds':>9} {'share':>7} {'calls':>12}"
+            + ("  alloc KiB" if with_alloc else "")
+        )
         for cost in self.layers:
             line = (
                 f"  {cost.layer:<12} {cost.seconds:>9.3f} "
@@ -316,6 +348,7 @@ def profile_trial(
     layers.sort(key=lambda cost: cost.seconds, reverse=True)
 
     events = network.simulator.events_processed
+    sync = getattr(network.simulator, "sync", None)
     return TrialProfile(
         scale=scale_name,
         protocol=protocol,
@@ -330,5 +363,8 @@ def profile_trial(
         layers=layers,
         event_queue=engine_tuning.event_queue,
         mac_model=engine_tuning.mac_model,
+        engine_backend=engine_tuning.engine_backend,
+        shard_count=sync.shard_count if sync is not None else 0,
         faults=faults if scenario.faults else None,
+        pdes=sync.report() if sync is not None else None,
     )

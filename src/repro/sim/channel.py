@@ -140,6 +140,7 @@ class Channel:
         use_airtime_memo: bool = True,
         use_object_pool: bool = True,
         use_grid_prefilter: bool = True,
+        use_batch_receptions: bool = True,
     ) -> None:
         self._simulator = simulator
         self._phy = phy
@@ -191,6 +192,7 @@ class Channel:
         self._use_reception_memo = use_reception_memo
         self._use_busy_cache = use_busy_cache
         self._use_object_pool = use_object_pool
+        self._use_batch_receptions = use_batch_receptions
         # Reception sets per origin node, valid only at _memo_time.
         self._reception_memo: Dict[NodeId, List[NodeId]] = {}
         self._memo_time: float = -1.0
@@ -217,6 +219,12 @@ class Channel:
         # only when the scenario declares faults; None keeps the reception
         # loop on its original instruction sequence (bit-identity contract).
         self._faults = None
+        # Sharded-PDES probe (repro.sim.pdes.ShardedSimulator), installed
+        # only under engine_backend="sharded": deliveries switch the
+        # delivery context to the receiver's shard and cross-seam effects
+        # (receptions, busy-until certifications) are counted as boundary
+        # events.  None under the serial backend.
+        self._pdes = None
         # Frozen-backoff sleepers (mac_model="frozen"): node -> mutable
         # [horizon_hint, on_idle] pairs, woken by the idle-edge check at the
         # end of each transmission's finish event.  Empty (and therefore
@@ -265,6 +273,17 @@ class Channel:
         delivery) when a fault window covers the link.
         """
         self._faults = faults
+
+    def install_pdes(self, simulator) -> None:
+        """Attach the sharded backend's boundary-event probe.
+
+        ``simulator`` must expose ``deliver_context`` / ``note_busy_mark``
+        / ``set_node_context`` (:class:`~repro.sim.pdes.ShardedSimulator`).
+        The probe only switches delivery contexts and counts seam
+        crossings; it changes no schedule entry and no RNG draw, so a
+        sharded trial stays bit-identical to a serial one.
+        """
+        self._pdes = simulator
 
     @property
     def phy(self) -> PhyConfig:
@@ -715,43 +734,93 @@ class Channel:
         )
         busy_until = self._busy_until
         faults = self._faults
+        pdes = self._pdes
         position_of = self._position_of
-        for receiver_id in self._reception_set(transmitter):
-            if faults is not None and faults.blocked(
-                transmitter, receiver_id, position_of
-            ):
-                # The frame never reaches this radio: no reception record,
-                # no collision, no busy-cache certification.
-                stats.fault_suppressed += 1
-                continue
-            if pool:
-                reception = pool.pop()
-                reception.frame = frame
-                reception.transmitter = transmitter
-                reception.receiver = receiver_id
-                reception.start = now
-                reception.end = end
-                reception.collided = False
-            else:
-                reception = _Reception(frame, transmitter, receiver_id, now, end)
-            # Half-duplex: a node that is itself transmitting cannot receive.
-            collided = is_transmitting[receiver_id]()
-            # Overlap with any reception already in progress collides both.
-            actives = active_receptions[receiver_id]
-            for other in actives:
-                if other.end > now:
-                    other.collided = True
-                    collided = True
-            reception.collided = collided
-            actives.append(reception)
-            receptions_append(reception)
-            if seed_busy and busy_until.get(receiver_id, 0.0) < end:
-                # These are exactly the nodes about to contend to relay a
-                # flood: their defer polls become dictionary hits.
-                busy_until[receiver_id] = end
+        receiver_ids = self._reception_set(transmitter)
+        if self._use_batch_receptions:
+            # Loop fission over the whole reception set (exactness argument
+            # in repro.sim.tuning): the fault filter consumes its draws in
+            # reception-set order, the half-duplex flags are pure state
+            # reads batched in one pass, and overlap marking plus record
+            # materialisation run in a final pass over the surviving set.
+            if faults is not None:
+                kept: List[NodeId] = []
+                kept_append = kept.append
+                for receiver_id in receiver_ids:
+                    if faults.blocked(transmitter, receiver_id, position_of):
+                        # The frame never reaches this radio: no reception
+                        # record, no collision, no busy-cache certification.
+                        stats.fault_suppressed += 1
+                    else:
+                        kept_append(receiver_id)
+                receiver_ids = kept
+            collided_flags = [
+                is_transmitting[receiver_id]() for receiver_id in receiver_ids
+            ]
+            for index, receiver_id in enumerate(receiver_ids):
+                if pool:
+                    reception = pool.pop()
+                    reception.frame = frame
+                    reception.transmitter = transmitter
+                    reception.receiver = receiver_id
+                    reception.start = now
+                    reception.end = end
+                    reception.collided = False
+                else:
+                    reception = _Reception(frame, transmitter, receiver_id, now, end)
+                collided = collided_flags[index]
+                actives = active_receptions[receiver_id]
+                for other in actives:
+                    if other.end > now:
+                        other.collided = True
+                        collided = True
+                reception.collided = collided
+                actives.append(reception)
+                receptions_append(reception)
+                if seed_busy and busy_until.get(receiver_id, 0.0) < end:
+                    busy_until[receiver_id] = end
+                    if pdes is not None:
+                        pdes.note_busy_mark(transmitter, receiver_id)
+        else:
+            for receiver_id in receiver_ids:
+                if faults is not None and faults.blocked(
+                    transmitter, receiver_id, position_of
+                ):
+                    # The frame never reaches this radio: no reception record,
+                    # no collision, no busy-cache certification.
+                    stats.fault_suppressed += 1
+                    continue
+                if pool:
+                    reception = pool.pop()
+                    reception.frame = frame
+                    reception.transmitter = transmitter
+                    reception.receiver = receiver_id
+                    reception.start = now
+                    reception.end = end
+                    reception.collided = False
+                else:
+                    reception = _Reception(frame, transmitter, receiver_id, now, end)
+                # Half-duplex: a node that is itself transmitting cannot receive.
+                collided = is_transmitting[receiver_id]()
+                # Overlap with any reception already in progress collides both.
+                actives = active_receptions[receiver_id]
+                for other in actives:
+                    if other.end > now:
+                        other.collided = True
+                        collided = True
+                reception.collided = collided
+                actives.append(reception)
+                receptions_append(reception)
+                if seed_busy and busy_until.get(receiver_id, 0.0) < end:
+                    # These are exactly the nodes about to contend to relay a
+                    # flood: their defer polls become dictionary hits.
+                    busy_until[receiver_id] = end
+                    if pdes is not None:
+                        pdes.note_busy_mark(transmitter, receiver_id)
         stats.receptions_started += len(receptions)
 
         radio_receive = self._radio_receive
+        swap_remove = self._use_batch_receptions
 
         def finish() -> None:
             delivered_to_target = False
@@ -769,7 +838,16 @@ class Channel:
                 receiver = reception.receiver
                 # Every reception was appended in the loop above and is only
                 # ever removed here, so it is always present.
-                active_receptions[receiver].remove(reception)
+                if swap_remove:
+                    # Exact despite reordering the list: active-reception
+                    # lists are only consumed by the overlap scan, which
+                    # marks every overlapping pair regardless of order.
+                    records = active_receptions[receiver]
+                    last = records.pop()
+                    if last is not reception:
+                        records[records.index(reception)] = last
+                else:
+                    active_receptions[receiver].remove(reception)
                 if reception.collided:
                     collisions += 1
                     continue
@@ -777,6 +855,11 @@ class Channel:
                     stats.fault_suppressed += 1
                     continue
                 delivered += 1
+                if pdes is not None:
+                    # Cross-shard delivery: the receiver's follow-on events
+                    # belong to its owner shard (and a seam crossing is a
+                    # boundary event).
+                    pdes.deliver_context(transmitter, receiver)
                 radio_receive[receiver](frame, transmitter)
                 if is_unicast and receiver == target:
                     delivered_to_target = True
@@ -786,6 +869,10 @@ class Channel:
                 # The records are out of every active list and the local
                 # references die with this closure: recycle them.
                 pool.extend(receptions)
+            if pdes is not None:
+                # The completion callback is the sender's: run it (and the
+                # stats that follow) back in the transmitter's shard.
+                pdes.set_node_context(transmitter)
             if on_complete is not None:
                 on_complete(delivered_to_target)
             # Idle-edge wake-check for frozen-backoff sleepers (see freeze()).
@@ -818,6 +905,9 @@ class Channel:
                 if woke is not None:
                     for node_id in woke:
                         on_idle = sleepers.pop(node_id)[1]
+                        if pdes is not None:
+                            # The resume belongs to the woken sleeper.
+                            pdes.set_node_context(node_id)
                         on_idle()
 
         self._simulator.call_in(duration, finish, 1)

@@ -301,6 +301,16 @@ class FaultSchedule:
 
     @staticmethod
     def _flip(simulator, spec: FaultSpec, *, down, up) -> None:
+        # The sharded PDES backend exposes fault_context: flips execute in
+        # their target's shard (a crash in shard 2 is a cross-shard fault
+        # event when scheduled from the coordinator) and are counted at the
+        # seam.  The wrap changes no RNG draw and no schedule entry, so
+        # faulted trials stay bit-identical across backends; the serial
+        # engine has no such attribute and schedules the bare flips.
+        fault_context = getattr(simulator, "fault_context", None)
+        if fault_context is not None:
+            down = fault_context(spec, down)
+            up = fault_context(spec, up)
         simulator.schedule_at(spec.start, down, priority=FAULT_PRIORITY)
         # The up flip may land beyond the trial duration; the engine simply
         # never reaches it, which models a fault that outlives the trial.

@@ -18,6 +18,7 @@ from .faults import FaultSchedule
 from .mac import Mac
 from .mobility import RandomWaypointMobility, StaticMobility
 from .node import Node
+from .pdes import ShardPlan, ShardedSimulator
 from .rng import RngStreams
 from .stats import TrialStats, TrialSummary
 from .tuning import EngineTuning, FastPaths
@@ -47,9 +48,18 @@ class Network:
 
     def run(self) -> TrialSummary:
         """Execute the trial and roll up the statistics."""
+        # Under the sharded backend each protocol starts in its node's
+        # owner-shard context so its timer chain is queued (and attributed)
+        # there; traffic is global work and starts from the coordinator
+        # shard.  The serial engine has no such seam and starts directly.
+        set_context = getattr(self.simulator, "set_node_context", None)
         for node in self.nodes.values():
+            if set_context is not None:
+                set_context(node.node_id)
             node.protocol.start()
         if self.traffic is not None:
+            if set_context is not None:
+                set_context(None)
             self.traffic.start()
         self.simulator.run(until=self.scenario.duration)
         for node in self.nodes.values():
@@ -90,7 +100,14 @@ def build_network(
 
     fp = FastPaths() if fast_paths is None else fast_paths
     engine_tuning = EngineTuning.from_env() if tuning is None else tuning
-    simulator = Simulator(event_queue=engine_tuning.event_queue)
+    sharded = engine_tuning.engine_backend == "sharded"
+    if sharded:
+        plan = ShardPlan.for_scenario(scenario, engine_tuning.resolved_shard_count())
+        simulator: Simulator = ShardedSimulator(
+            plan, event_queue=engine_tuning.event_queue
+        )
+    else:
+        simulator = Simulator(event_queue=engine_tuning.event_queue)
     streams = RngStreams(scenario.seed)
     # Random-waypoint legs floor the drawn speed at 0.1 m/s, so the channel's
     # drift bound must too; static trials never move nodes at all.
@@ -109,14 +126,17 @@ def build_network(
         use_airtime_memo=fp.airtime_memo,
         use_object_pool=fp.frame_pool,
         use_grid_prefilter=fp.grid_prefilter,
+        use_batch_receptions=fp.batch_receptions,
     )
     stats = TrialStats()
     terrain = scenario.terrain
     mobility_rng = streams.get("mobility")
 
     nodes: Dict[NodeId, Node] = {}
+    initial_positions: Dict[NodeId, tuple] = {}
     for node_id in range(scenario.node_count):
         initial = terrain.random_position(mobility_rng)
+        initial_positions[node_id] = initial
         if static_positions:
             mobility = StaticMobility(initial)
         else:
@@ -149,6 +169,19 @@ def build_network(
             # segments instead of calling through mac -> node -> mobility
             # on every position-cache miss.
             channel.register_segment_provider(node_id, mobility.segment_for)
+
+    if sharded:
+        # Ownership follows the nodes: bind initial shard owners and the
+        # live position providers the barrier-time refresh re-derives them
+        # from, and let the channel switch delivery context at the seams.
+        simulator.bind_nodes(
+            initial_positions,
+            {
+                node_id: (lambda nid=node_id: nodes[nid].position())
+                for node_id in nodes
+            },
+        )
+        channel.install_pdes(simulator)
 
     if scenario.faults:
         # Compile the declarative fault plan into simulator events now, before

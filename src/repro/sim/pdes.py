@@ -1,0 +1,681 @@
+"""Spatially sharded conservative parallel discrete-event backend.
+
+The serial engine runs one trial on one core.  This module shards the
+terrain into ``K`` contiguous vertical strips (the same decomposition the
+spatial grid uses, cell-aligned regions of the plane) and gives every shard
+its own event queue — a :class:`~repro.sim.eventq.CalendarQueue` per shard —
+so a trial's event population is spatially partitioned the way a
+Chandy–Misra conservative PDES partitions it across logical processes.
+
+Two execution modes share the decomposition:
+
+**Threaded (in-process) mode** — :class:`ShardedSimulator`, the default for
+``EngineTuning.engine_backend = "sharded"`` and the mode every correctness
+test and CI job runs.  Each shard owns a real queue; events are routed to
+the queue of the shard that *scheduled* them (delivery context switches per
+cross-shard reception, so a node's event chain migrates to its owner shard),
+and the run loop advances all shards together by popping the globally
+least entry — a deterministic K-way merge over per-shard ``peek()``.
+Because pop order is totally determined by ``(time, priority, sequence)``
+and the merge always selects the global minimum, the executed event
+sequence is *identical* to the serial engine's for any K: shard-count
+invariance holds bit-for-bit by construction, and the window/barrier/
+handoff machinery below is pure attribution and accounting on top of it.
+The machinery is exactly what the process mode needs — bounded time
+windows, barrier bookkeeping, boundary-event counting, mobility handoffs —
+exercised deterministically so its costs are measurable (the profile's
+``engine.sync`` layer) and its accounting testable.
+
+**Process mode** — :func:`run_trial_sharded_processes`, shared-nothing
+workers exchanging *nothing at all*: with this PHY model the conservative
+lookahead between radio-coupled shards collapses (see below), so true
+parallelism is only available between shard **groups** that are radio-
+decoupled for the whole trial.  Groups are the connected components of the
+carrier-sense reachability graph over the initial (static) positions; each
+worker deterministically rebuilds the full network from the scenario seed
+(RNG streams are per-node, and the shared ``traffic`` stream is replayed
+identically by every worker — foreign flows are "shadow" flows whose draws
+are consumed but whose packets are never originated) and simulates only its
+own groups' nodes.  Mobile scenarios roam the whole terrain and therefore
+form one group; they fall back to a serial run, reported honestly.
+
+Lookahead derivation (and why coupled shards cannot run ahead)
+--------------------------------------------------------------
+
+The conservative window is ``lookahead = min propagation delay into a
+neighboring shard + the carrier-sense busy horizon granularity``.  This
+PHY (:class:`~repro.sim.phy.PhyConfig`) models propagation as
+instantaneous — a frame put on the air at ``t`` is sensed and received at
+``t`` anywhere inside the disk — so the propagation term is **zero**, and
+the only lower bound left on cross-shard influence is the MAC's decision
+granularity, one slot time (20 µs).  A 20 µs window is far below the mean
+event spacing, so radio-coupled shards cannot be advanced concurrently
+without violating the repo's bit-identity bar; the threaded mode therefore
+merges deterministically (parallel in structure, serial in time), and the
+process mode extracts real concurrency only across decoupled groups.  The
+window used for barrier accounting is ``max(lookahead, frame_overhead_s)``
+so one window spans at least a frame's fixed overhead.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from time import perf_counter
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .engine import Event, Simulator
+from .eventq import CalendarQueue
+from .stats import TrialStats, TrialSummary
+
+__all__ = [
+    "ShardPlan",
+    "PdesSync",
+    "ShardedSimulator",
+    "PdesError",
+    "radio_groups",
+    "ProcessRunReport",
+    "run_trial_sharded_processes",
+]
+
+NodeId = Hashable
+
+#: One queue entry, exactly the engine's shape.
+_Entry = Tuple[float, int, int, object]
+
+
+class PdesError(RuntimeError):
+    """Raised when a PDES execution mode cannot honour its contract."""
+
+
+@dataclass(frozen=True, slots=True)
+class ShardPlan:
+    """The spatial decomposition of one trial: K contiguous vertical strips.
+
+    ``boundaries`` are the K-1 interior seam x-coordinates; ``lookahead``
+    and ``window`` carry the conservative-synchronization derivation from
+    the module docstring (propagation delay into a neighbor — zero in this
+    PHY — plus the carrier-sense horizon granularity, one slot).
+    ``refresh_interval`` is how often mobility can require an ownership
+    refresh: a node needs ``strip_width / 4 / max_speed`` seconds to cross
+    a quarter strip, so refreshing at that cadence bounds attribution
+    staleness the same way the channel bounds grid-snapshot staleness.
+    """
+
+    shard_count: int
+    terrain_width: float
+    strip_width: float
+    boundaries: Tuple[float, ...]
+    lookahead: float
+    window: float
+    refresh_interval: float
+
+    @classmethod
+    def for_scenario(cls, scenario, shard_count: int) -> "ShardPlan":
+        """The plan for ``scenario`` sharded ``shard_count`` ways."""
+        if shard_count < 1:
+            raise ValueError(f"shard count must be >= 1, got {shard_count}")
+        width = float(scenario.terrain_width)
+        strip = width / shard_count
+        phy = scenario.phy
+        # Propagation is instantaneous in this PHY; the slot time is the
+        # finest granularity at which a neighboring shard's carrier-sense
+        # state can influence a MAC decision.
+        propagation_delay = 0.0
+        lookahead = propagation_delay + phy.slot_time_s
+        window = max(lookahead, phy.frame_overhead_s)
+        max_speed = max(float(scenario.max_speed), 0.0)
+        if max_speed > 0.0 and shard_count > 1:
+            refresh = max(strip / 4.0 / max_speed, window)
+        else:
+            refresh = float("inf")
+        return cls(
+            shard_count=shard_count,
+            terrain_width=width,
+            strip_width=strip,
+            boundaries=tuple(strip * i for i in range(1, shard_count)),
+            lookahead=lookahead,
+            window=window,
+            refresh_interval=refresh,
+        )
+
+    def shard_of_x(self, x: float) -> int:
+        """The shard owning x-coordinate ``x`` (edges clamp into range)."""
+        shard = int(x / self.strip_width) if self.strip_width > 0.0 else 0
+        if shard < 0:
+            return 0
+        last = self.shard_count - 1
+        return last if shard > last else shard
+
+    def shard_of_position(self, position) -> int:
+        """The shard owning a :class:`~repro.sim.space.Position`."""
+        return self.shard_of_x(position.x)
+
+
+@dataclass
+class PdesSync:
+    """Synchronization accounting of one sharded run.
+
+    ``executed_by_shard`` attributes every executed event to the shard whose
+    queue held it; the boundary counters record cross-shard effects (a
+    reception delivered into a different owner's shard, a busy-until
+    certification seeded across a seam, a fault flip landing outside the
+    coordinator shard); ``handoffs`` counts ownership changes from mobility
+    refreshes; ``windows``/``barrier_seconds`` measure the window-barrier
+    bookkeeping itself — the quantity the profile's ``engine.sync`` layer
+    makes visible.
+    """
+
+    shard_count: int = 1
+    executed_by_shard: List[int] = field(default_factory=list)
+    windows: int = 0
+    handoffs: int = 0
+    boundary_receptions: int = 0
+    boundary_busy_marks: int = 0
+    boundary_faults: int = 0
+    barrier_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.executed_by_shard:
+            self.executed_by_shard = [0] * self.shard_count
+
+    def report(self) -> Dict[str, Any]:
+        """A JSON-safe roll-up (attached to profiles and benchmark records)."""
+        return {
+            "shard_count": self.shard_count,
+            "executed_by_shard": list(self.executed_by_shard),
+            "windows": self.windows,
+            "handoffs": self.handoffs,
+            "boundary_receptions": self.boundary_receptions,
+            "boundary_busy_marks": self.boundary_busy_marks,
+            "boundary_faults": self.boundary_faults,
+            "barrier_seconds": round(self.barrier_seconds, 6),
+        }
+
+
+class _ShardHeap:
+    """A plain binary heap with the CalendarQueue push/pop/peek surface.
+
+    Backs a shard when ``event_queue="heap"`` so the sharded backend
+    composes with both queue flavours (the equivalence matrix covers the
+    cross product).
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: List[_Entry] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, entry: _Entry) -> None:
+        heappush(self._heap, entry)
+
+    def pop(self) -> Optional[_Entry]:
+        return heappop(self._heap) if self._heap else None
+
+    def peek(self) -> Optional[_Entry]:
+        return self._heap[0] if self._heap else None
+
+
+class ShardedSimulator(Simulator):
+    """K per-shard event queues advanced by a deterministic global merge.
+
+    Drop-in for :class:`~repro.sim.engine.Simulator`: the scheduling API is
+    inherited unchanged — only ``_push`` is rerouted to the queue of the
+    *current delivery context* shard, and the run loop pops the globally
+    least entry across all shards (per-shard ``peek``, one pop).  The
+    sequence number stays globally unique, so the executed event sequence —
+    and therefore every trial outcome — is bit-identical to the serial
+    engine for any shard count.  What changes is the structure: event
+    populations are spatially partitioned, cross-shard effects are counted
+    at the seams, window barriers and mobility handoffs run exactly where a
+    distributed conservative execution would place them.
+    """
+
+    def __init__(self, plan: ShardPlan, *, event_queue: str = "calendar") -> None:
+        super().__init__(event_queue=event_queue)
+        self.plan = plan
+        # Neutralise the serial fast path: the base run loop reads
+        # _calendar._active directly, which must never engage here.
+        self._calendar = None
+        self._queue = []
+        if event_queue == "calendar":
+            self._queues: List[Any] = [
+                CalendarQueue() for _ in range(plan.shard_count)
+            ]
+        else:
+            self._queues = [_ShardHeap() for _ in range(plan.shard_count)]
+        self._push = self._route_push
+        self._current_shard = 0
+        self._owner: Dict[NodeId, int] = {}
+        self._providers: Dict[NodeId, Callable[[], Tuple[float, float]]] = {}
+        self._next_refresh = float("inf")
+        self.sync = PdesSync(shard_count=plan.shard_count)
+
+    # -- routing -----------------------------------------------------------------
+
+    def _route_push(self, entry: _Entry) -> None:
+        """Queue ``entry`` in the current delivery context's shard."""
+        self._queues[self._current_shard].push(entry)
+
+    @property
+    def pending_events(self) -> int:
+        total = sum(len(queue) for queue in self._queues)
+        return total - self._cancelled_pending
+
+    # -- ownership ---------------------------------------------------------------
+
+    def bind_nodes(
+        self,
+        initial_positions: Dict[NodeId, Tuple[float, float]],
+        providers: Dict[NodeId, Callable[[], Tuple[float, float]]],
+    ) -> None:
+        """Install node → shard ownership from initial positions.
+
+        ``providers`` yield live positions for the periodic ownership
+        refresh; positions are pure functions of the simulation clock, so
+        querying them at barrier times is exact (leg extension consumes the
+        per-node mobility streams in leg order regardless of query time).
+        """
+        plan = self.plan
+        self._owner = {
+            node_id: plan.shard_of_position(position)
+            for node_id, position in initial_positions.items()
+        }
+        self._providers = dict(providers)
+        if self._providers and plan.refresh_interval != float("inf"):
+            self._next_refresh = plan.refresh_interval
+
+    def shard_of_node(self, node_id: NodeId) -> int:
+        """The shard currently owning ``node_id`` (unknown nodes: shard 0)."""
+        return self._owner.get(node_id, 0)
+
+    def set_node_context(self, node_id: Optional[NodeId]) -> None:
+        """Switch the delivery context to ``node_id``'s owner shard.
+
+        ``None`` selects shard 0, the coordinator shard that owns global
+        work (traffic flow starts, fault flips at their scheduling time).
+        """
+        self._current_shard = 0 if node_id is None else self._owner.get(node_id, 0)
+
+    # -- channel probe ------------------------------------------------------------
+
+    def deliver_context(self, transmitter: NodeId, receiver: NodeId) -> None:
+        """Switch context to the receiver's shard for one frame delivery.
+
+        Counted as a boundary event when the frame crosses a seam — this is
+        the reception a process-mode execution would ship between workers
+        at a window barrier.
+        """
+        owner = self._owner
+        shard = owner.get(receiver, 0)
+        if shard != owner.get(transmitter, 0):
+            self.sync.boundary_receptions += 1
+        self._current_shard = shard
+
+    def note_busy_mark(self, transmitter: NodeId, receiver: NodeId) -> None:
+        """Record a carrier-sense busy-until certification crossing a seam."""
+        owner = self._owner
+        if owner.get(receiver, 0) != owner.get(transmitter, 0):
+            self.sync.boundary_busy_marks += 1
+
+    def fault_context(self, spec, flip: Callable[[], None]) -> Callable[[], None]:
+        """Wrap a fault flip so it executes in its target's shard context.
+
+        Fault flips are scheduled at build time from the coordinator shard;
+        a flip whose target (a crashing node, a partition seam) lives in
+        another shard is a cross-shard fault event and counted as such.
+        The wrap changes no RNG draw and no schedule entry, so faulted
+        trials stay bit-identical to the serial engine.
+        """
+
+        def apply() -> None:
+            shard = self._fault_target_shard(spec)
+            if shard != self._current_shard:
+                self.sync.boundary_faults += 1
+                self._current_shard = shard
+            flip()
+
+        return apply
+
+    def _fault_target_shard(self, spec) -> int:
+        if spec.kind == "node_crash":
+            return self._owner.get(spec.node, 0)
+        if spec.kind == "partition":
+            return self.plan.shard_of_x(spec.boundary_x)
+        return 0  # blackout / loss_burst affect every shard; coordinator owns them
+
+    # -- window barriers -----------------------------------------------------------
+
+    def _window_barrier(self, time: float) -> None:
+        """Per-window synchronization point: accounting plus ownership refresh.
+
+        In the threaded mode this is where a distributed execution would
+        block on its neighbors and exchange boundary events; here the merge
+        already ordered everything globally, so the barrier's only real work
+        is the mobility-driven ownership refresh — and its cost, measured
+        into ``barrier_seconds``, is exactly the synchronization overhead
+        the ``engine.sync`` profile layer reports.
+        """
+        started = perf_counter()
+        sync = self.sync
+        sync.windows += 1
+        if time >= self._next_refresh:
+            self._refresh_ownership()
+            self._next_refresh = time + self.plan.refresh_interval
+        sync.barrier_seconds += perf_counter() - started
+
+    def _refresh_ownership(self) -> None:
+        """Re-derive node → shard ownership from live positions (handoffs)."""
+        shard_of_x = self.plan.shard_of_x
+        owner = self._owner
+        handoffs = 0
+        # Providers use the mobility model's allocation-free tuple fast path.
+        for node_id, provider in self._providers.items():
+            shard = shard_of_x(provider()[0])
+            if shard != owner[node_id]:
+                owner[node_id] = shard
+                handoffs += 1
+        self.sync.handoffs += handoffs
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance all shards by popping the globally least entry each step.
+
+        Same contract as :meth:`Simulator.run`; the executed sequence is
+        identical because the merge always selects the minimum of the
+        per-shard minima and the total order is unique.
+        """
+        event_class = Event
+        self._running = True
+        processed = self._processed
+        queues = self._queues
+        peeks = [queue.peek for queue in queues]
+        pops = [queue.pop for queue in queues]
+        executed = self.sync.executed_by_shard
+        inv_window = 1.0 / self.plan.window
+        window_index = -1
+        try:
+            while self._running:
+                best: Optional[_Entry] = None
+                best_shard = 0
+                for shard, peek in enumerate(peeks):
+                    entry = peek()
+                    if entry is not None and (best is None or entry < best):
+                        best = entry
+                        best_shard = shard
+                if best is None:
+                    break
+                time = best[0]
+                if until is not None and time > until:
+                    # Unlike the serial loop there is nothing to push back:
+                    # the winner was only peeked, never popped.
+                    break
+                w = int(time * inv_window)
+                if w != window_index:
+                    window_index = w
+                    self._window_barrier(time)
+                pops[best_shard]()
+                payload = best[3]
+                self._current_shard = best_shard
+                if payload.__class__ is event_class:
+                    if payload.cancelled:
+                        self._cancelled_pending -= 1
+                        continue
+                    callback = payload.callback
+                    payload.callback = None
+                    self.now = time
+                    processed += 1
+                    executed[best_shard] += 1
+                    callback()
+                else:
+                    self.now = time
+                    processed += 1
+                    executed[best_shard] += 1
+                    payload()
+        finally:
+            self._processed = processed
+        if until is not None and self.now < until:
+            self.now = until
+        self._running = False
+
+    def _pop_entry(self) -> Optional[_Entry]:
+        best: Optional[_Entry] = None
+        best_shard = 0
+        for shard, queue in enumerate(self._queues):
+            entry = queue.peek()
+            if entry is not None and (best is None or entry < best):
+                best = entry
+                best_shard = shard
+        if best is None:
+            return None
+        self._queues[best_shard].pop()
+        self._current_shard = best_shard
+        return best
+
+
+# -- process mode ---------------------------------------------------------------------
+
+
+def radio_groups(scenario) -> List[Tuple[int, ...]]:
+    """Radio-decoupled node groups of ``scenario`` at its initial positions.
+
+    Connected components of the graph with an edge wherever two nodes are
+    within carrier-sense range: nodes in different components can neither
+    receive from nor defer to each other, so (for static positions) their
+    event populations have *infinite* mutual lookahead and may be simulated
+    independently.  Initial positions are re-drawn exactly as
+    ``build_network`` draws them — per node id, from the shared ``mobility``
+    stream — so the decomposition is a pure function of the scenario.
+    """
+    from .rng import RngStreams  # local import: keep module import light
+
+    streams = RngStreams(scenario.seed)
+    rng = streams.get("mobility")
+    terrain = scenario.terrain
+    positions = [terrain.random_position(rng) for _ in range(scenario.node_count)]
+    cs_range = scenario.phy.carrier_sense_range
+    parent = list(range(scenario.node_count))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for i in range(scenario.node_count):
+        xi, yi = positions[i].x, positions[i].y
+        for j in range(i + 1, scenario.node_count):
+            dx = positions[j].x - xi
+            dy = positions[j].y - yi
+            if (dx * dx + dy * dy) ** 0.5 <= cs_range:
+                ri, rj = find(i), find(j)
+                if ri != rj:
+                    parent[rj] = ri
+    components: Dict[int, List[int]] = {}
+    for node in range(scenario.node_count):
+        components.setdefault(find(node), []).append(node)
+    return sorted(
+        (tuple(members) for members in components.values()), key=lambda c: c[0]
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessRunReport:
+    """Outcome of a process-mode run: the summary plus how it was obtained."""
+
+    summary: TrialSummary
+    groups: Tuple[Tuple[int, ...], ...]
+    workers_used: int
+    #: Why the run degenerated to one serial worker, or ``None`` when the
+    #: group decomposition actually fanned out.
+    fallback_reason: Optional[str] = None
+
+
+def _group_worker(args) -> TrialStats:
+    """Simulate one worker's owned groups inside a full deterministic replica.
+
+    The worker rebuilds the complete network from the scenario (identical
+    RNG streams, identical build order), then starts only the owned nodes'
+    protocols and restricts traffic origination to owned sources — foreign
+    flows stay "shadow" flows: their endpoint/lifetime draws are consumed
+    from the shared ``traffic`` stream in the identical order, keeping every
+    owned flow's draws bit-identical to the serial run, but their packets
+    are never originated.  Unowned nodes are radio-unreachable from owned
+    ones (that is what the group decomposition certifies), so the owned
+    nodes observe exactly the frames they observe serially, and the
+    worker's :class:`TrialStats` holds exactly the owned groups'
+    contribution.
+    """
+    scenario, protocol_name, owned, fast_paths, tuning = args
+    from ..protocols import protocol_factory  # local: after fork/spawn
+    from .network import build_network
+    from .tuning import EngineTuning
+
+    worker_tuning = EngineTuning(
+        event_queue=tuning.event_queue,
+        mac_model=tuning.mac_model,
+        engine_backend="serial",
+    )
+    network = build_network(
+        scenario,
+        protocol_factory(protocol_name),
+        static_positions=True,
+        fast_paths=fast_paths,
+        tuning=worker_tuning,
+    )
+    owned_set = frozenset(owned)
+    if network.traffic is not None:
+        network.traffic.restrict_to(owned_set)
+    for node_id in owned:
+        network.nodes[node_id].protocol.start()
+    if network.traffic is not None:
+        network.traffic.start()
+    network.simulator.run(until=scenario.duration)
+    for node_id in owned:
+        node = network.nodes[node_id]
+        node.protocol.finalize()
+        network.stats.record_mac_drops(node_id, node.mac.stats.drops)
+        network.stats.record_sequence_number(
+            node_id, node.protocol.sequence_number_metric()
+        )
+    return network.stats
+
+
+def _merge_group_stats(parts: Sequence[TrialStats]) -> TrialStats:
+    """Sum per-worker stats into one trial-wide :class:`TrialStats`.
+
+    Counters add; per-node roll-ups merge (owned sets are disjoint);
+    latency lists concatenate in group order.  Group order is canonical but
+    differs from the serial interleaving, so ``mean_latency`` can differ
+    from the serial value in the last float ulp — the integer counters are
+    exact.  Route-recovery merging is unneeded: faulted multi-group runs
+    are refused (the fault RNG stream is shared across groups).
+    """
+    merged = TrialStats()
+    for part in parts:
+        merged.data_sent += part.data_sent
+        merged.data_delivered += part.data_delivered
+        merged.duplicate_deliveries += part.duplicate_deliveries
+        merged.control_transmissions += part.control_transmissions
+        merged.latencies.extend(part.latencies)
+        merged.mac_drops_by_node.update(part.mac_drops_by_node)
+        merged.sequence_numbers_by_node.update(part.sequence_numbers_by_node)
+    return merged
+
+
+def run_trial_sharded_processes(
+    scenario,
+    protocol: str,
+    *,
+    static_positions: bool = True,
+    fast_paths=None,
+    tuning=None,
+    max_workers: Optional[int] = None,
+) -> ProcessRunReport:
+    """Run one trial across shared-nothing worker processes.
+
+    Real concurrency exists only between radio-decoupled groups (module
+    docstring: the conservative lookahead between coupled shards collapses
+    to one slot under instantaneous propagation).  Mobile scenarios and
+    single-component worlds fall back to one serial worker — reported, not
+    hidden, in the returned :class:`ProcessRunReport`.  Faulted scenarios
+    with more than one group are refused: the fault layer draws from one
+    shared RNG stream whose draw order interleaves across groups.
+    """
+    from ..protocols import protocol_factory  # local import to avoid a cycle
+    from .tuning import EngineTuning, FastPaths
+
+    fp = FastPaths() if fast_paths is None else fast_paths
+    engine_tuning = EngineTuning.from_env() if tuning is None else tuning
+
+    fallback: Optional[str] = None
+    if not static_positions:
+        groups: Tuple[Tuple[int, ...], ...] = (
+            tuple(range(scenario.node_count)),
+        )
+        fallback = (
+            "mobile nodes roam the whole terrain, so every shard is "
+            "radio-coupled: one group"
+        )
+    else:
+        groups = tuple(radio_groups(scenario))
+        if len(groups) == 1:
+            fallback = "initial positions form a single carrier-sense component"
+
+    if scenario.faults and len(groups) > 1:
+        raise PdesError(
+            "faulted scenarios cannot run in process mode with more than one "
+            "radio group: fault flips and loss-burst draws consume one shared "
+            "RNG stream whose order interleaves across groups. Use the "
+            "threaded sharded backend (engine_backend='sharded'), which is "
+            "bit-identical for faulted trials."
+        )
+
+    if fallback is not None:
+        from .network import run_trial
+
+        summary = run_trial(
+            scenario,
+            protocol_factory(protocol),
+            static_positions=static_positions,
+            fast_paths=fp,
+            tuning=EngineTuning(
+                event_queue=engine_tuning.event_queue,
+                mac_model=engine_tuning.mac_model,
+                engine_backend="serial",
+            ),
+        )
+        return ProcessRunReport(
+            summary=summary, groups=groups, workers_used=1, fallback_reason=fallback
+        )
+
+    workers = min(len(groups), max_workers or os.cpu_count() or 1)
+    workers = max(workers, 1)
+    # Round-robin the components over the workers so each process carries a
+    # comparable share of nodes.
+    assignments: List[List[int]] = [[] for _ in range(workers)]
+    for index, group in enumerate(groups):
+        assignments[index % workers].extend(group)
+    jobs = [
+        (scenario, protocol, tuple(sorted(owned)), fp, engine_tuning)
+        for owned in assignments
+        if owned
+    ]
+    if len(jobs) == 1:
+        parts = [_group_worker(jobs[0])]
+    else:
+        with ProcessPoolExecutor(max_workers=len(jobs)) as pool:
+            parts = list(pool.map(_group_worker, jobs))
+    merged = _merge_group_stats(parts)
+    return ProcessRunReport(
+        summary=merged.summary(),
+        groups=groups,
+        workers_used=len(jobs),
+        fallback_reason=None,
+    )

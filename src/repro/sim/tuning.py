@@ -50,6 +50,16 @@ The flags, and the exactness argument for each:
     without any per-node lookup.  The staleness budget is tightened so the
     undecided band stays narrow; membership is identical because the
     bounds are conservative and the band falls through to the exact path.
+``batch_receptions``
+    ``Channel.transmit`` processes the whole reception set in fissioned
+    passes (fault filter, half-duplex flags, overlap marking, record
+    materialisation) instead of one interleaved per-receiver loop, and the
+    end-of-air-time completion removes reception records by swap-remove
+    instead of ``list.remove``.  Exact: the fault draws keep their
+    reception-loop order, half-duplex reads no state the other passes
+    mutate, overlap marking is order-insensitive (every overlapping pair is
+    marked regardless of traversal order), and the active-reception lists
+    are only ever consumed by order-insensitive overlap scans.
 
 OLSR's incremental routing-table maintenance is the same kind of exact fast
 path but lives in :class:`~repro.protocols.olsr.OlsrConfig`
@@ -68,8 +78,11 @@ __all__ = [
     "EngineTuning",
     "EVENT_QUEUES",
     "MAC_MODELS",
+    "ENGINE_BACKENDS",
     "EVENT_QUEUE_ENV",
     "MAC_MODEL_ENV",
+    "ENGINE_BACKEND_ENV",
+    "SHARD_COUNT_ENV",
 ]
 
 
@@ -84,6 +97,7 @@ class FastPaths:
     frame_pool: bool = True
     airtime_memo: bool = True
     grid_prefilter: bool = True
+    batch_receptions: bool = True
 
     @classmethod
     def none(cls) -> "FastPaths":
@@ -107,11 +121,17 @@ EVENT_QUEUES: Tuple[str, ...] = ("heap", "calendar")
 #: Recognised MAC backoff models (see :mod:`repro.sim.mac`).
 MAC_MODELS: Tuple[str, ...] = ("poll", "frozen")
 
+#: Recognised engine backends (see :mod:`repro.sim.pdes`).
+ENGINE_BACKENDS: Tuple[str, ...] = ("serial", "sharded")
+
 #: Environment overrides consulted by :meth:`EngineTuning.from_env` — the
-#: seam the CI ``mac-model-gate`` job (and any A/B sweep) uses to run the
-#: stock sweep CLI under a different engine configuration without new flags.
+#: seam the CI ``mac-model-gate`` / ``pdes-smoke`` jobs (and any A/B sweep)
+#: use to run the stock sweep CLI under a different engine configuration
+#: without new flags.
 EVENT_QUEUE_ENV = "REPRO_EVENT_QUEUE"
 MAC_MODEL_ENV = "REPRO_MAC_MODEL"
+ENGINE_BACKEND_ENV = "REPRO_ENGINE_BACKEND"
+SHARD_COUNT_ENV = "REPRO_SHARD_COUNT"
 
 
 @dataclass(frozen=True, slots=True)
@@ -140,10 +160,23 @@ class EngineTuning:
         ``"poll"`` so committed stores, nightly artifacts and the clean
         bit-identity matrix are undisturbed; CI enforces the frozen model's
         gate on every PR via the ``mac-model-gate`` job.
+
+    ``engine_backend`` / ``shard_count``
+        ``"serial"`` (default) or ``"sharded"`` — the spatially sharded
+        conservative PDES backend (:mod:`repro.sim.pdes`).  **Exact**: the
+        sharded backend's K-way merge pops the identical globally ordered
+        event sequence for any shard count, so a sharded trial is
+        bit-identical to a serial one (enforced by the shard-invariance
+        matrix in ``tests/sim/test_pdes.py`` and the ``pdes-smoke`` CI
+        job).  ``shard_count=0`` (auto) resolves from the host's cores —
+        at least 2 so "sharded" always means sharded, capped at 4 where
+        the strip decomposition stops paying.
     """
 
     event_queue: str = "calendar"
     mac_model: str = "poll"
+    engine_backend: str = "serial"
+    shard_count: int = 0
 
     def __post_init__(self) -> None:
         if self.event_queue not in EVENT_QUEUES:
@@ -156,6 +189,21 @@ class EngineTuning:
                 f"unknown MAC model {self.mac_model!r}; "
                 f"expected one of {MAC_MODELS}"
             )
+        if self.engine_backend not in ENGINE_BACKENDS:
+            raise ValueError(
+                f"unknown engine backend {self.engine_backend!r}; "
+                f"expected one of {ENGINE_BACKENDS}"
+            )
+        if self.shard_count < 0:
+            raise ValueError(
+                f"shard count must be >= 0 (0 = auto), got {self.shard_count}"
+            )
+
+    def resolved_shard_count(self) -> int:
+        """The effective shard count: the explicit value, or the auto rule."""
+        if self.shard_count > 0:
+            return self.shard_count
+        return min(4, max(2, os.cpu_count() or 1))
 
     @classmethod
     def from_env(cls) -> "EngineTuning":
@@ -176,4 +224,15 @@ class EngineTuning:
         mac = os.environ.get(MAC_MODEL_ENV)
         if mac:
             kwargs["mac_model"] = mac
+        backend = os.environ.get(ENGINE_BACKEND_ENV)
+        if backend:
+            kwargs["engine_backend"] = backend
+        shards = os.environ.get(SHARD_COUNT_ENV)
+        if shards:
+            try:
+                kwargs["shard_count"] = int(shards)
+            except ValueError:
+                raise ValueError(
+                    f"${SHARD_COUNT_ENV} must be an integer, got {shards!r}"
+                ) from None
         return cls(**kwargs)

@@ -30,6 +30,7 @@ FLAG_NAMES = (
     "frame_pool",
     "airtime_memo",
     "grid_prefilter",
+    "batch_receptions",
 )
 
 

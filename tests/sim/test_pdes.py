@@ -1,0 +1,386 @@
+"""Sharded-PDES exactness: shard-count invariance and the process mode.
+
+The sharded backend's contract (``repro.sim.pdes``) is the repo's standard
+one: **bit-identity**.  The threaded mode's K-way merge pops the identical
+globally ordered event sequence for any shard count, so a sharded trial
+must equal a serial one entry for entry — summary *and* event count — for
+every protocol, clean and faulted, FastPaths off and on, under either event
+queue.  This module enforces that matrix, the ShardPlan geometry, the
+boundary/handoff accounting at the seams, the EngineTuning environment
+seam, and the process mode's group decomposition (exact integer counters,
+mean latency to the last ulp modulo concatenation order).
+"""
+
+import dataclasses
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.paper import EvaluationScale
+from repro.protocols import protocol_factory
+from repro.sim.channel import Channel
+from repro.sim.faults import FaultSpec, fault_preset
+from repro.sim.network import build_network
+from repro.sim.pdes import (
+    PdesError,
+    ShardPlan,
+    ShardedSimulator,
+    radio_groups,
+    run_trial_sharded_processes,
+)
+from repro.sim.packet import Frame, Packet, PacketKind
+from repro.sim.space import Position
+from repro.sim.tuning import (
+    ENGINE_BACKEND_ENV,
+    SHARD_COUNT_ENV,
+    EngineTuning,
+    FastPaths,
+)
+from repro.workloads.scenario import scaled_scenario
+
+PROTOCOLS = ("SRP", "LDR", "AODV", "DSR", "OLSR")
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def smoke_scenario(*, faulted=False):
+    scenario = EvaluationScale.smoke().scenario
+    if faulted:
+        scenario = scenario.with_faults(fault_preset("churn-partition", scenario))
+    return scenario
+
+
+def run_serial(scenario, protocol, *, fast_paths=None, event_queue="calendar"):
+    network = build_network(
+        scenario,
+        protocol_factory(protocol),
+        fast_paths=fast_paths,
+        tuning=EngineTuning(event_queue=event_queue),
+    )
+    return network.run(), network.simulator.events_processed
+
+
+def run_sharded(
+    scenario, protocol, shards, *, fast_paths=None, event_queue="calendar"
+):
+    network = build_network(
+        scenario,
+        protocol_factory(protocol),
+        fast_paths=fast_paths,
+        tuning=EngineTuning(
+            event_queue=event_queue,
+            engine_backend="sharded",
+            shard_count=shards,
+        ),
+    )
+    summary = network.run()
+    return (summary, network.simulator.events_processed), network.simulator
+
+
+# -- plan geometry ---------------------------------------------------------------
+
+
+class TestShardPlan:
+    def test_strips_partition_the_terrain(self):
+        scenario = smoke_scenario()  # 900 m wide
+        plan = ShardPlan.for_scenario(scenario, 4)
+        assert plan.strip_width == pytest.approx(225.0)
+        assert plan.boundaries == pytest.approx((225.0, 450.0, 675.0))
+        assert [plan.shard_of_x(x) for x in (0.0, 224.9, 225.0, 899.9)] == [
+            0,
+            0,
+            1,
+            3,
+        ]
+
+    def test_edges_clamp_into_range(self):
+        plan = ShardPlan.for_scenario(smoke_scenario(), 2)
+        assert plan.shard_of_x(-5.0) == 0
+        assert plan.shard_of_x(plan.terrain_width) == 1
+        assert plan.shard_of_x(plan.terrain_width * 10) == 1
+
+    def test_single_shard_owns_everything(self):
+        plan = ShardPlan.for_scenario(smoke_scenario(), 1)
+        assert plan.boundaries == ()
+        assert plan.shard_of_x(0.0) == plan.shard_of_x(plan.terrain_width) == 0
+
+    def test_lookahead_derivation(self):
+        """Instantaneous propagation: lookahead collapses to one slot, and
+        the accounting window spans at least a frame's fixed overhead."""
+        scenario = smoke_scenario()
+        plan = ShardPlan.for_scenario(scenario, 2)
+        assert plan.lookahead == pytest.approx(scenario.phy.slot_time_s)
+        assert plan.window == pytest.approx(
+            max(scenario.phy.slot_time_s, scenario.phy.frame_overhead_s)
+        )
+
+    def test_refresh_interval_tracks_mobility(self):
+        mobile = smoke_scenario()
+        plan = ShardPlan.for_scenario(mobile, 4)
+        assert plan.refresh_interval == pytest.approx(
+            max(plan.strip_width / 4.0 / mobile.max_speed, plan.window)
+        )
+        static = dataclasses.replace(mobile, max_speed=0.0, min_speed=0.0)
+        assert ShardPlan.for_scenario(static, 4).refresh_interval == math.inf
+        assert ShardPlan.for_scenario(mobile, 1).refresh_interval == math.inf
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError, match="shard count"):
+            ShardPlan.for_scenario(smoke_scenario(), 0)
+
+
+# -- shard-count invariance (the acceptance matrix) -------------------------------
+
+
+class TestShardInvariance:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("faulted", [False, True], ids=["clean", "faulted"])
+    def test_serial_vs_sharded_all_protocols(self, protocol, faulted):
+        scenario = smoke_scenario(faulted=faulted)
+        reference = run_serial(scenario, protocol)
+        for shards in SHARD_COUNTS:
+            result, simulator = run_sharded(scenario, protocol, shards)
+            assert result == reference, (
+                f"{protocol} ({'faulted' if faulted else 'clean'}) diverged "
+                f"at K={shards}"
+            )
+            # Every executed event was attributed to some shard.
+            assert sum(simulator.sync.executed_by_shard) == reference[1]
+
+    def test_fast_paths_off_matches_at_k2(self):
+        scenario = smoke_scenario()
+        for protocol in ("SRP", "OLSR"):
+            reference = run_serial(scenario, protocol, fast_paths=FastPaths.none())
+            result, _ = run_sharded(
+                scenario, protocol, 2, fast_paths=FastPaths.none()
+            )
+            assert result == reference
+
+    def test_heap_queue_matches_at_k2(self):
+        """The sharded backend composes with both queue flavours."""
+        scenario = smoke_scenario()
+        reference = run_serial(scenario, "SRP")
+        for event_queue in ("heap", "calendar"):
+            result, _ = run_sharded(
+                scenario, "SRP", 2, event_queue=event_queue
+            )
+            assert result == reference
+
+    @given(
+        seed=st.integers(min_value=1, max_value=10_000),
+        shards=st.sampled_from([2, 3, 4, 5]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_random_scenarios_are_shard_invariant(self, seed, shards):
+        """Property: any small scenario, any K — serial and sharded agree."""
+        scenario = scaled_scenario(
+            node_count=8,
+            flow_count=2,
+            duration=8.0,
+            seed=seed,
+            terrain_width=700.0,
+            terrain_height=250.0,
+        )
+        reference = run_serial(scenario, "SRP")
+        result, _ = run_sharded(scenario, "SRP", shards)
+        assert result == reference
+
+
+# -- seam edge cases --------------------------------------------------------------
+
+
+class TestSeamEdgeCases:
+    def test_handoff_mid_trial_keeps_identity(self):
+        """Mobile nodes cross the seam while their MAC chains (backoff
+        timers, pending frames) are live; ownership hands off at barrier
+        refreshes and the trial stays bit-identical — the chain keeps
+        executing, only its shard attribution migrates."""
+        scenario = smoke_scenario()  # pause 0: every node moves constantly
+        reference = run_serial(scenario, "OLSR")  # saturated: backoffs always live
+        result, simulator = run_sharded(scenario, "OLSR", 2)
+        assert result == reference
+        assert simulator.sync.handoffs > 0
+        assert simulator.sync.boundary_receptions > 0
+
+    def test_fault_flips_at_window_boundaries(self):
+        """A node crash whose start snaps to a window multiple and a
+        partition whose seam is exactly a shard boundary: both flips land
+        in their target's shard, are counted, and change nothing."""
+        scenario = smoke_scenario()
+        plan = ShardPlan.for_scenario(scenario, 2)
+        faults = (
+            FaultSpec(
+                kind="node_crash", start=plan.window * 4000, duration=5.0, node=3
+            ),
+            FaultSpec(
+                kind="partition",
+                start=plan.window * 8000,
+                duration=5.0,
+                boundary_x=plan.boundaries[0],
+            ),
+        )
+        faulted = scenario.with_faults(faults)
+        reference = run_serial(faulted, "SRP")
+        for shards in (2, 4):
+            result, simulator = run_sharded(faulted, "SRP", shards)
+            assert result == reference
+            assert simulator.sync.boundary_faults > 0
+
+    def test_reception_set_spanning_three_shards(self):
+        """One broadcast whose receivers live in three different shards:
+        two deliveries cross a seam, one stays home."""
+        scenario = smoke_scenario()  # 900 m wide -> K=4 strips of 225 m
+        plan = ShardPlan.for_scenario(scenario, 4)
+        simulator = ShardedSimulator(plan)
+        channel = Channel(simulator, scenario.phy, max_node_speed=0.0)
+
+        received = {}
+
+        class Stub:
+            def __init__(self, node_id, x):
+                self.node_id = node_id
+                self._x = x
+
+            def position(self):
+                return (self._x, 50.0)
+
+            def is_transmitting(self):
+                return False
+
+            def radio_receive(self, frame, transmitter):
+                received.setdefault(self.node_id, []).append(transmitter)
+
+        # tx in shard 1; receivers in shards 0, 1 and 2, all within the
+        # 250 m reception range of x=400.
+        stations = {"tx": 400.0, "r0": 200.0, "r1": 440.0, "r2": 600.0}
+        for node_id, x in stations.items():
+            channel.attach(Stub(node_id, x))
+        simulator.bind_nodes(
+            {node_id: Position(x, 50.0) for node_id, x in stations.items()}, {}
+        )
+        channel.install_pdes(simulator)
+        assert [simulator.shard_of_node(n) for n in ("tx", "r0", "r1", "r2")] == [
+            1,
+            0,
+            1,
+            2,
+        ]
+
+        packet = Packet(
+            kind=PacketKind.DATA,
+            source="tx",
+            destination="r1",
+            size_bytes=256,
+            created_at=0.0,
+        )
+        simulator.set_node_context("tx")
+        channel.transmit("tx", Frame(packet, "tx", None))  # broadcast
+        simulator.run()
+        assert set(received) == {"r0", "r1", "r2"}
+        assert simulator.sync.boundary_receptions == 2
+
+
+# -- engine tuning seam -----------------------------------------------------------
+
+
+class TestEngineTuningBackend:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_BACKEND_ENV, "sharded")
+        monkeypatch.setenv(SHARD_COUNT_ENV, "3")
+        tuning = EngineTuning.from_env()
+        assert tuning.engine_backend == "sharded"
+        assert tuning.shard_count == 3
+        assert tuning.resolved_shard_count() == 3
+
+    def test_auto_shard_count_is_at_least_two(self):
+        assert EngineTuning(engine_backend="sharded").resolved_shard_count() >= 2
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            EngineTuning(engine_backend="gpu")
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="shard count"):
+            EngineTuning(shard_count=-1)
+
+    def test_invalid_env_shard_count_rejected(self, monkeypatch):
+        monkeypatch.setenv(SHARD_COUNT_ENV, "many")
+        with pytest.raises(ValueError, match="integer"):
+            EngineTuning.from_env()
+
+    def test_env_backend_builds_sharded_simulator(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_BACKEND_ENV, "sharded")
+        monkeypatch.setenv(SHARD_COUNT_ENV, "2")
+        network = build_network(smoke_scenario(), protocol_factory("SRP"))
+        assert isinstance(network.simulator, ShardedSimulator)
+        assert network.simulator.plan.shard_count == 2
+
+
+# -- process mode -----------------------------------------------------------------
+
+
+def sparse_scenario():
+    """A wide, skinny, static world whose initial positions form several
+    carrier-sense components (seed chosen for >= 2 groups)."""
+    return dataclasses.replace(
+        smoke_scenario(),
+        seed=1,
+        node_count=10,
+        flow_count=3,
+        terrain_width=3000.0,
+        terrain_height=100.0,
+    )
+
+
+class TestProcessMode:
+    def test_radio_groups_partition_the_nodes(self):
+        scenario = sparse_scenario()
+        groups = radio_groups(scenario)
+        assert len(groups) >= 2
+        flat = sorted(node for group in groups for node in group)
+        assert flat == list(range(scenario.node_count))
+
+    def test_matches_serial_static_run(self):
+        scenario = sparse_scenario()
+        report = run_trial_sharded_processes(scenario, "SRP")
+        assert report.fallback_reason is None
+        serial = build_network(
+            scenario, protocol_factory("SRP"), static_positions=True
+        ).run()
+        for field in (
+            "data_sent",
+            "data_delivered",
+            "duplicate_deliveries",
+            "control_transmissions",
+        ):
+            assert getattr(report.summary, field) == getattr(serial, field)
+        assert math.isclose(
+            report.summary.mean_latency, serial.mean_latency, rel_tol=1e-9
+        )
+
+    def test_two_workers_match_serial(self):
+        scenario = sparse_scenario()
+        report = run_trial_sharded_processes(scenario, "SRP", max_workers=2)
+        assert report.workers_used == 2
+        serial = build_network(
+            scenario, protocol_factory("SRP"), static_positions=True
+        ).run()
+        assert report.summary.data_delivered == serial.data_delivered
+        assert report.summary.data_sent == serial.data_sent
+
+    def test_faulted_multi_group_is_refused(self):
+        scenario = sparse_scenario()
+        faulted = scenario.with_faults(fault_preset("churn-partition", scenario))
+        with pytest.raises(PdesError, match="shared"):
+            run_trial_sharded_processes(faulted, "SRP")
+
+    def test_mobile_scenario_falls_back_serially(self):
+        scenario = smoke_scenario()
+        report = run_trial_sharded_processes(
+            scenario, "SRP", static_positions=False
+        )
+        assert report.fallback_reason is not None
+        assert report.workers_used == 1
+        serial = build_network(scenario, protocol_factory("SRP")).run()
+        assert report.summary == serial
