@@ -62,13 +62,33 @@ def run_point(
     duration: float = 25.0,
     protocol: str = "SRP",
     shards: int = 0,
+    processes: bool = False,
 ):
     """Run one sweep point; returns (wall_seconds, events, summary).
 
     ``shards > 0`` runs the point on the sharded PDES backend with that
     shard count (the trial is bit-identical; only the wall clock differs),
-    adding a shard-count axis to the scaling table.
+    adding a shard-count axis to the scaling table.  ``processes`` runs it
+    in the windowed cross-process mode instead — one worker per shard
+    under the speed-of-light propagation-delay channel (the model the
+    science gate validates), which is where multi-core hosts see actual
+    wall-clock speedup.
     """
+    if processes:
+        from repro.sim.pdes import run_trial_sharded_processes
+        from repro.sim.phy import SPEED_OF_LIGHT_DELAY_S_PER_M
+
+        scenario = scaling_scenario(node_count, duration=duration)
+        scenario = scenario.with_propagation_delay(SPEED_OF_LIGHT_DELAY_S_PER_M)
+        start = time.perf_counter()
+        report = run_trial_sharded_processes(
+            scenario,
+            protocol,
+            static_positions=False,
+            max_workers=max(shards, 2),
+        )
+        elapsed = time.perf_counter() - start
+        return elapsed, report.events_processed, report.summary
     tuning = (
         EngineTuning(engine_backend="sharded", shard_count=shards)
         if shards > 0
@@ -98,23 +118,43 @@ def bench_scaling_srp(benchmark, node_count):
     assert summary.data_sent > 0
 
 
-def _scaling_record(node_count, duration, protocol, shards, elapsed, events, summary):
+def _scaling_record(
+    node_count,
+    duration,
+    protocol,
+    shards,
+    elapsed,
+    events,
+    summary,
+    processes=False,
+):
     """One trajectory record for a scaling point, bench_trial_profile-shaped.
 
-    The record keys read ``scaling200`` (serial) / ``scaling200+sharded4``,
-    so the node-count x shard-count grid lives in BENCH_5.json beside the
-    per-scale records and the same ``--check`` machinery gates both.
+    The record keys read ``scaling200`` (serial) / ``scaling200+sharded4`` /
+    ``scaling200+proc2`` (windowed process mode), so the node-count x
+    shard-count grid lives in BENCH_5.json beside the per-scale records and
+    the same ``--check`` machinery gates both.  Process-mode records carry
+    the host's core count so a single-vCPU runner's honest overhead number
+    is never mistaken for a multi-core speedup measurement.
     """
+    import os
+
     from bench_trial_profile import _git_commit
 
-    return {
+    if processes:
+        backend = "proc"
+    elif shards > 0:
+        backend = "sharded"
+    else:
+        backend = "serial"
+    record = {
         "scale": f"scaling{node_count}",
         "pause_time": 0.0,
         "node_count": node_count,
         "duration": duration,
         "event_queue": "calendar",
         "mac_model": "poll",
-        "engine_backend": "sharded" if shards > 0 else "serial",
+        "engine_backend": backend,
         "shard_count": shards,
         "commit": _git_commit(),
         "protocols": {
@@ -126,6 +166,9 @@ def _scaling_record(node_count, duration, protocol, shards, elapsed, events, sum
             }
         },
     }
+    if processes:
+        record["host_cpus"] = os.cpu_count() or 1
+    return record
 
 
 def main(argv=None) -> int:
@@ -147,6 +190,14 @@ def main(argv=None) -> int:
     parser.add_argument("--duration", type=float, default=25.0)
     parser.add_argument("--protocol", default="SRP")
     parser.add_argument(
+        "--processes",
+        action="store_true",
+        help="run the nonzero --shards points in the windowed cross-process "
+        "mode (speed-of-light propagation-delay channel, one worker per "
+        "shard); records key as e.g. scaling200+proc2 and carry host_cpus "
+        "so single-core overhead is never read as speedup",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -167,18 +218,21 @@ def main(argv=None) -> int:
     )
     for node_count in counts:
         for shards in shard_axis:
+            processes = bool(args.processes and shards > 0)
             try:
                 elapsed, events, summary = run_point(
                     node_count,
                     duration=args.duration,
                     protocol=args.protocol,
                     shards=shards,
+                    processes=processes,
                 )
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
+            backend_tag = "proc" if processes else (shards or "-")
             print(
-                f"{node_count:>6} {shards or '-':>6} {elapsed:>8.2f} {events:>10} "
+                f"{node_count:>6} {backend_tag:>6} {elapsed:>8.2f} {events:>10} "
                 f"{events / elapsed:>10.0f} {summary.delivery_ratio:>9.3f}"
             )
             if summary.data_sent <= 0:
@@ -186,8 +240,14 @@ def main(argv=None) -> int:
                 return 1
             records.append(
                 _scaling_record(
-                    node_count, args.duration, args.protocol, shards,
-                    elapsed, events, summary,
+                    node_count,
+                    args.duration,
+                    args.protocol,
+                    shards,
+                    elapsed,
+                    events,
+                    summary,
+                    processes=processes,
                 )
             )
 
@@ -199,8 +259,15 @@ def main(argv=None) -> int:
         if path.exists():
             try:
                 document = json.loads(path.read_text(encoding="utf-8"))
-            except ValueError:
-                document = None
+            except ValueError as exc:
+                # A corrupt trajectory file must fail loudly: silently
+                # resetting it would wipe every other record on disk.
+                print(
+                    f"error: {path} is not valid JSON ({exc}); fix or "
+                    "remove it before merging new records",
+                    file=sys.stderr,
+                )
+                return 2
         for record in records:
             document = merge_into_document(document, record)
         path.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")

@@ -362,8 +362,15 @@ def main(argv=None) -> int:
         if path.exists():
             try:
                 document = json.loads(path.read_text(encoding="utf-8"))
-            except ValueError:
-                document = None
+            except ValueError as exc:
+                # A corrupt trajectory file must fail loudly: silently
+                # resetting it would wipe every other record on disk.
+                print(
+                    f"error: {path} is not valid JSON ({exc}); fix or "
+                    "remove it before merging new records",
+                    file=sys.stderr,
+                )
+                return 2
         document = merge_into_document(document, record)
         path.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")
         print(f"(trajectory record for scale '{record['scale']}' written to {path})")

@@ -193,6 +193,20 @@ def _apply_faults(scale, preset: Optional[str]):
     return dataclasses.replace(scale, scenario=scenario)
 
 
+def _apply_propagation_delay(scale, delay: Optional[float]):
+    """The scale with ``--propagation-delay`` folded into its scenario.
+
+    Like ``--faults``, a finite propagation delay changes the phy dict and
+    with it every job's content key, so a delay-variant sweep is a
+    *different* sweep that never collides with an instantaneous-channel
+    store.
+    """
+    if delay is None:
+        return scale
+    scenario = scale.scenario.with_propagation_delay(delay)
+    return dataclasses.replace(scale, scenario=scenario)
+
+
 def _report_quarantined(store: ResultsStore, jobs: Sequence[TrialJob]) -> int:
     """Warn about planned cells left quarantined; the CLI exit code (0 or 4)."""
     missing = {job.content_key: job for job in store.missing(jobs)}
@@ -319,6 +333,9 @@ def _apply_backend_env(args: argparse.Namespace) -> None:
 def _cmd_run(args: argparse.Namespace) -> int:
     _apply_backend_env(args)
     scale = _apply_faults(resolve_scale(args.scale, trials=args.trials), args.faults)
+    scale = _apply_propagation_delay(
+        scale, getattr(args, "propagation_delay", None)
+    )
     protocols: Sequence[str] = tuple(args.protocols or PAPER_PROTOCOLS)
     store = ResultsStore(args.out)
     code = _ensure_meta_or_exit(store, scale, protocols)
@@ -711,6 +728,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     scenario = scale.scenario.with_pause_time(pause)
     if args.faults is not None:
         scenario = scenario.with_faults(fault_preset(args.faults, scenario))
+    if args.propagation_delay is not None:
+        scenario = scenario.with_propagation_delay(args.propagation_delay)
     fast_paths = FastPaths.none() if args.fast_paths == "off" else FastPaths()
     tuning = EngineTuning(
         event_queue=args.queue,
@@ -848,22 +867,42 @@ def build_parser() -> argparse.ArgumentParser:
             "with a clean store)",
         )
 
-    def add_backend_args(p: argparse.ArgumentParser) -> None:
+    def add_backend_args(
+        p: argparse.ArgumentParser, *, include_processes: bool = False
+    ) -> None:
+        backends = ("serial", "sharded") + (
+            ("processes",) if include_processes else ()
+        )
         p.add_argument(
             "--engine-backend",
-            choices=("serial", "sharded"),
+            choices=backends,
             default=None,
-            help="engine backend for every trial: the serial engine or the "
-            "spatially sharded conservative PDES (bit-identical; default: "
-            "serial, or $REPRO_ENGINE_BACKEND)",
+            help="engine backend for every trial: the serial engine, the "
+            "spatially sharded conservative PDES (bit-identical), or — "
+            "where offered — shared-nothing worker processes per trial "
+            "(exact radio-group fan-out; windowed barrier exchange under "
+            "--propagation-delay). Default: serial, or "
+            "$REPRO_ENGINE_BACKEND",
         )
         p.add_argument(
             "--shards",
             type=int,
             default=None,
             metavar="K",
-            help="shard count for the sharded backend (0 = auto from cores; "
-            "default: $REPRO_SHARD_COUNT or auto)",
+            help="shard count for the sharded/processes backends (0 = auto "
+            "from cores; default: $REPRO_SHARD_COUNT or auto)",
+        )
+
+    def add_propagation_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--propagation-delay",
+            type=float,
+            default=None,
+            metavar="S_PER_M",
+            help="finite propagation delay in seconds per metre "
+            "(speed of light: 3.336e-9). Selects the delayed channel "
+            "model — validated by the science gate, not bit-identity — "
+            "and becomes part of every cell's content key",
         )
 
     run = sub.add_parser("run", help="plan and run a sweep (reusing stored cells)")
@@ -887,7 +926,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_exec_args(run)
     add_policy_args(run)
     add_faults_arg(run)
-    add_backend_args(run)
+    add_backend_args(run, include_processes=True)
+    add_propagation_arg(run)
     run.set_defaults(func=_cmd_run)
 
     resume = sub.add_parser(
@@ -1219,6 +1259,7 @@ def build_parser() -> argparse.ArgumentParser:
         "loop or the event-driven freeze/resume model (default: poll)",
     )
     add_backend_args(profile)
+    add_propagation_arg(profile)
     profile.add_argument(
         "--alloc",
         action="store_true",

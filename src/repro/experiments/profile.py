@@ -259,6 +259,12 @@ class TrialProfile:
                 f"{self.pdes['boundary_busy_marks']} boundary busy marks, "
                 f"{self.pdes['boundary_faults']} boundary faults"
             )
+            lines.append(
+                f"  occupancy: {self.pdes.get('events_per_window', 0.0):,} "
+                f"events/window, "
+                f"{self.pdes.get('boundary_events', 0)} boundary events, "
+                f"{self.pdes.get('barrier_seconds', 0.0)}s barrier stall"
+            )
         lines.append(
             f"  {'layer':<12} {'seconds':>9} {'share':>7} {'calls':>12}"
             + ("  alloc KiB" if with_alloc else "")

@@ -85,6 +85,10 @@ class RadioListener(Protocol):
         """Deliver a successfully received frame."""
 
 
+def _discard_frame(frame: Frame, transmitter: NodeId) -> None:
+    """Delivery callback for muted radios (see :meth:`Channel.mute`)."""
+
+
 @dataclass(slots=True, eq=False)
 class _Transmission:
     """One frame in flight.  ``eq=False``: compared only by identity."""
@@ -219,6 +223,16 @@ class Channel:
         # only when the scenario declares faults; None keeps the reception
         # loop on its original instruction sequence (bit-identity contract).
         self._faults = None
+        # Finite propagation delay (s/m).  Zero routes transmit/carrier-sense
+        # through the original instantaneous-propagation code paths
+        # unchanged; positive switches to the delayed variants below (a
+        # model change, held to the science gate — see PhyConfig).
+        self._pd = phy.propagation_delay_s_per_m
+        # Transmission observer for the windowed process mode: called as
+        # tap(transmitter, frame, now) for every frame put on the air.
+        # Only consulted on the delayed paths (the windowed mode requires a
+        # finite delay), so the instantaneous hot path gains no branch.
+        self._transmit_tap = None
         # Sharded-PDES probe (repro.sim.pdes.ShardedSimulator), installed
         # only under engine_backend="sharded": deliveries switch the
         # delivery context to the receiver's shard and cross-seam effects
@@ -284,6 +298,34 @@ class Channel:
         sharded trial stays bit-identical to a serial one.
         """
         self._pdes = simulator
+
+    def set_transmit_tap(self, tap) -> None:
+        """Observe every frame put on the air: ``tap(transmitter, frame, now)``.
+
+        The windowed process mode (:mod:`repro.sim.pdes`) installs one per
+        worker to record its owned shard's transmissions for barrier
+        exchange.  Requires the finite-propagation-delay channel; the
+        instantaneous paths never consult it.
+        """
+        self._transmit_tap = tap
+
+    def mute(self, node_id: NodeId) -> None:
+        """Permanently drop deliveries to ``node_id``'s radio.
+
+        The windowed process mode replicates the full node population in
+        every worker but executes only the home strip's protocol stacks;
+        muting the foreign replicas keeps their radios as pure geometry
+        (they still occupy the medium for carrier sense and collisions)
+        without processing frames whose authoritative copies run in another
+        worker.  Replacing the prebound callback costs the serial delivery
+        path nothing.
+        """
+        self._radio_receive[node_id] = _discard_frame
+
+    @property
+    def faults(self):
+        """The installed :class:`~repro.sim.faults.ChannelFaults` (or None)."""
+        return self._faults
 
     @property
     def phy(self) -> PhyConfig:
@@ -531,6 +573,8 @@ class Channel:
             # no geometry is needed.  The hot case: a deferring MAC polls
             # many times during one long frame.
             return True
+        if self._pd:
+            return self._is_busy_near_delayed(node_id, now)
         active = self._active_transmissions
         while active and active[0][0] <= now:
             heapq.heappop(active)
@@ -586,6 +630,48 @@ class Channel:
                 return True
         return False
 
+    def _is_busy_near_delayed(self, node_id: NodeId, now: float) -> bool:
+        """Carrier sense under finite propagation delay.
+
+        A transmission occupies the medium at a node from its start until
+        its trailing edge *arrives*: ``end + delay * distance``.  The
+        leading edge is modelled conservatively as the transmit instant
+        (physically it arrives ``delay * distance`` later; at realistic
+        delays that is sub-microsecond, and sensing early only defers — it
+        never misses a busy medium).  Heap entries are keyed by the latest
+        possible trailing-edge arrival (``end + delay * cs_range``), so the
+        lazy prune below is exact for every node.
+        """
+        active = self._active_transmissions
+        while active and active[0][0] <= now:
+            heapq.heappop(active)
+        if not active:
+            return False
+        pd = self._pd
+        carrier_sense_range = self._phy.carrier_sense_range
+        max_speed = self._max_node_speed
+        use_cache = self._use_busy_cache
+        busy_until = self._busy_until
+        px, py = self._position_of(node_id)
+        for _, _, transmission in active:
+            tx, ty = transmission.position
+            dx = tx - px
+            dy = ty - py
+            distance = (dx * dx + dy * dy) ** 0.5
+            if distance > carrier_sense_range:
+                continue
+            end = transmission.end
+            if end + pd * distance <= now:
+                continue
+            if use_cache and distance + max_speed * (end - now) <= carrier_sense_range:
+                # Certified to stay inside carrier-sense range until the
+                # (undelayed) end — the conservative lower bound on this
+                # node's trailing edge — so defer polls become cache hits.
+                if busy_until.get(node_id, 0.0) < end:
+                    busy_until[node_id] = end
+            return True
+        return False
+
     def busy_horizon(self, node_id: NodeId) -> float:
         """Latest end time of any in-progress transmission within carrier-sense
         range of ``node_id``, or ``0.0`` when the medium is idle there.
@@ -608,8 +694,16 @@ class Channel:
         deliberately independent of every FastPaths flag — in particular it
         never consults the ``busy_until`` certification cache — so a
         frozen-model trial is bit-identical across FastPaths settings.
+
+        Under the finite-delay channel the horizon is the latest trailing-
+        edge *arrival* (``end + delay * distance``), and deadlock-freedom
+        still holds: every transmission's completion event runs at
+        ``end + delay * cs_range``, at or after any node's horizon for it,
+        and wake-checks the sleepers.
         """
         now = self._simulator.now
+        if self._pd:
+            return self._busy_horizon_delayed(node_id, now)
         active = self._active_transmissions
         while active and active[0][0] <= now:
             heapq.heappop(active)
@@ -653,6 +747,29 @@ class Channel:
             dy = ty - py
             if (dx * dx + dy * dy) ** 0.5 <= carrier_sense_range:
                 horizon = end
+        return horizon
+
+    def _busy_horizon_delayed(self, node_id: NodeId, now: float) -> float:
+        """Frozen-MAC wake horizon under finite propagation delay."""
+        active = self._active_transmissions
+        while active and active[0][0] <= now:
+            heapq.heappop(active)
+        if not active:
+            return 0.0
+        pd = self._pd
+        carrier_sense_range = self._phy.carrier_sense_range
+        px, py = self._position_of(node_id)
+        horizon = 0.0
+        for _, _, transmission in active:
+            tx, ty = transmission.position
+            dx = tx - px
+            dy = ty - py
+            distance = (dx * dx + dy * dy) ** 0.5
+            if distance > carrier_sense_range:
+                continue
+            sense_end = transmission.end + pd * distance
+            if sense_end > horizon and sense_end > now:
+                horizon = sense_end
         return horizon
 
     def freeze(
@@ -705,6 +822,8 @@ class Channel:
         called at the end of the transmission with ``True`` when the intended
         receiver decoded the frame successfully — the idealised 802.11 ACK.
         """
+        if self._pd:
+            return self._transmit_delayed(transmitter, frame, on_complete)
         now = self._simulator.now
         duration = self.airtime(frame)
         origin = self._position_of(transmitter)
@@ -912,3 +1031,188 @@ class Channel:
 
         self._simulator.call_in(duration, finish, 1)
         return duration
+
+    def _transmit_delayed(
+        self,
+        transmitter: NodeId,
+        frame: Frame,
+        on_complete: Optional[Callable[[bool], None]] = None,
+    ) -> float:
+        """:meth:`transmit` under the finite-propagation-delay channel.
+
+        Each receiver's copy of the frame occupies ``[start + delay * d,
+        end + delay * d]`` at distance ``d``, so a nearer receiver always
+        finishes decoding no later than a farther one and collision overlap
+        is judged per-receiver against the *delayed* intervals.  Deliveries
+        are per-receiver events at each trailing-edge arrival (so delivery
+        order follows distance), and a single completion event at
+        ``end + delay * cs_range`` — after every possible delivery and
+        sense edge — runs the sender's ACK callback and the frozen-MAC
+        wake-check.  Half-duplex and fault checks are evaluated at the
+        transmit instant like the instantaneous model (the leading-edge
+        approximation; sub-microsecond at physical delays).
+        """
+        simulator = self._simulator
+        now = simulator.now
+        duration = self.airtime(frame)
+        origin = self._position_of(transmitter)
+        pd = self._pd
+        phy = self._phy
+        end = now + duration
+
+        transmission = _Transmission(frame, transmitter, now, end, origin)
+        active = self._active_transmissions
+        # Heap key: the latest instant any node can still sense this frame
+        # (trailing edge at the carrier-sense rim), so the lazy prunes in
+        # the delayed query paths never drop a still-audible transmission.
+        latest_sense = end + pd * phy.carrier_sense_range
+        while active and active[0][0] <= now:
+            heapq.heappop(active)
+        self._transmission_seq += 1
+        heapq.heappush(active, (latest_sense, self._transmission_seq, transmission))
+        self.stats.transmissions += 1
+        if self._transmit_tap is not None:
+            self._transmit_tap(transmitter, frame, now)
+
+        stats = self.stats
+        is_transmitting = self._is_transmitting
+        active_receptions = self._active_receptions
+        pool = self._reception_pool if self._use_object_pool else None
+        faults = self._faults
+        pdes = self._pdes
+        position_of = self._position_of
+        busy_until = self._busy_until
+        radio_receive = self._radio_receive
+        call_in = simulator.call_in
+        ox, oy = origin
+        # Same conservative certification as the instantaneous path, against
+        # the undelayed end (a lower bound on every receiver's trailing
+        # edge): drift over the air time must fit the cs margin.
+        seed_busy = (
+            self._use_busy_cache
+            and self._max_node_speed * duration <= self._cs_margin
+        )
+        receptions: List[_Reception] = []
+        receptions_append = receptions.append
+        # Mutable cell shared by the per-receiver deliveries and the
+        # completion event: [delivered_to_target].
+        outcome = [False]
+        is_unicast = not frame.is_broadcast
+        target = frame.receiver
+
+        def deliver(reception: _Reception) -> None:
+            receiver = reception.receiver
+            records = active_receptions[receiver]
+            last = records.pop()
+            if last is not reception:
+                records[records.index(reception)] = last
+            if reception.collided:
+                stats.collisions += 1
+                return
+            current_faults = self._faults
+            if (
+                current_faults is not None
+                and current_faults.down
+                and receiver in current_faults.down
+            ):
+                # Crashed while the frame was in flight: the radio is gone.
+                stats.fault_suppressed += 1
+                return
+            stats.receptions_delivered += 1
+            if pdes is not None:
+                pdes.deliver_context(transmitter, receiver)
+            radio_receive[receiver](frame, transmitter)
+            if is_unicast and receiver == target:
+                outcome[0] = True
+
+        for receiver_id in self._reception_set(transmitter):
+            if faults is not None and faults.blocked(
+                transmitter, receiver_id, position_of
+            ):
+                stats.fault_suppressed += 1
+                continue
+            rx, ry = position_of(receiver_id)
+            dx = rx - ox
+            dy = ry - oy
+            flight = pd * (dx * dx + dy * dy) ** 0.5
+            arrival = now + flight
+            rec_end = end + flight
+            if pool:
+                reception = pool.pop()
+                reception.frame = frame
+                reception.transmitter = transmitter
+                reception.receiver = receiver_id
+                reception.start = arrival
+                reception.end = rec_end
+                reception.collided = False
+            else:
+                reception = _Reception(
+                    frame, transmitter, receiver_id, arrival, rec_end
+                )
+            collided = is_transmitting[receiver_id]()
+            actives = active_receptions[receiver_id]
+            for other in actives:
+                if other.end > arrival and other.start < rec_end:
+                    other.collided = True
+                    collided = True
+            reception.collided = collided
+            actives.append(reception)
+            receptions_append(reception)
+            if seed_busy and busy_until.get(receiver_id, 0.0) < end:
+                busy_until[receiver_id] = end
+                if pdes is not None:
+                    pdes.note_busy_mark(transmitter, receiver_id)
+            call_in(rec_end - now, lambda r=reception: deliver(r), 1)
+        stats.receptions_started += len(receptions)
+
+        def complete() -> None:
+            if pool is not None:
+                # Every delivery event has run (they were scheduled earlier
+                # at times <= this one): the records are free.
+                pool.extend(receptions)
+            if pdes is not None:
+                pdes.set_node_context(transmitter)
+            if on_complete is not None:
+                on_complete(outcome[0])
+            self._wake_sleepers(pdes)
+
+        # At or after every delivery (reception range <= cs range) and every
+        # node's sense horizon for this frame; scheduled after the delivery
+        # events above, so equal-time ties still run deliveries first.
+        call_in(duration + pd * phy.carrier_sense_range, complete, 1)
+        return duration
+
+    def _wake_sleepers(self, pdes) -> None:
+        """Idle-edge wake-check for frozen-backoff sleepers (see freeze()).
+
+        The delayed completion events call this; the instantaneous finish
+        path keeps its original inline copy.
+        """
+        sleepers = self._sleepers
+        if not sleepers:
+            return
+        wake_now = self._simulator.now
+        active = self._active_transmissions
+        while active and active[0][0] <= wake_now:
+            heapq.heappop(active)
+        woke = None
+        if not active:
+            woke = list(sleepers)
+        else:
+            busy_horizon = self.busy_horizon
+            for node_id, entry in sleepers.items():
+                if entry[0] > wake_now:
+                    continue
+                horizon = busy_horizon(node_id)
+                if horizon > wake_now:
+                    entry[0] = horizon
+                elif woke is None:
+                    woke = [node_id]
+                else:
+                    woke.append(node_id)
+        if woke is not None:
+            for node_id in woke:
+                on_idle = sleepers.pop(node_id)[1]
+                if pdes is not None:
+                    pdes.set_node_context(node_id)
+                on_idle()

@@ -176,6 +176,15 @@ class ChannelFaults:
         self.loss_rates: List[float] = []
         self._random = rng.random
 
+    def reseed(self, rng: random.Random) -> None:
+        """Swap the loss-draw RNG (windowed process mode: per-shard streams).
+
+        Only loss-burst draws consume this RNG at runtime; crash, blackout
+        and partition flips are pre-scheduled deterministic events, so
+        reseeding changes nothing for plans without loss bursts.
+        """
+        self._random = rng.random
+
     @property
     def any_active(self) -> bool:
         """True while at least one fault window is in effect."""
@@ -298,6 +307,24 @@ class FaultSchedule:
                     up=lambda rate=rate: state.loss_rates.remove(rate),
                 )
         return state
+
+    @staticmethod
+    def split_for_shards(seed: int, shard_count: int) -> "List[random.Random]":
+        """Independent per-shard loss-draw streams for the windowed mode.
+
+        Each shard's stream derives from the trial seed and the shard index
+        (via the same sha256 derivation every named stream uses), so the
+        split is a pure function of ``(seed, shard_count)``: re-running the
+        same windowed trial replays identical draws, and no shard's draws
+        depend on another shard's reception interleaving.  The serial
+        engine's single shared stream interleaves draws across the whole
+        terrain, so the split is part of the windowed *model* — validated
+        by the faults gate, not bit-identity.
+        """
+        from .rng import RngStreams
+
+        streams = RngStreams(seed)
+        return [streams.get(f"faults:shard{index}") for index in range(shard_count)]
 
     @staticmethod
     def _flip(simulator, spec: FaultSpec, *, down, up) -> None:

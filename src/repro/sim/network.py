@@ -100,6 +100,15 @@ def build_network(
 
     fp = FastPaths() if fast_paths is None else fast_paths
     engine_tuning = EngineTuning.from_env() if tuning is None else tuning
+    if engine_tuning.engine_backend == "processes":
+        from .pdes import PdesError
+
+        raise PdesError(
+            "engine_backend='processes' launches whole trials via "
+            "repro.sim.pdes.run_trial_sharded_processes and cannot back a "
+            "single in-process network; dispatch at the trial runner (the "
+            "sweep executor does this) or use 'serial'/'sharded' here"
+        )
     sharded = engine_tuning.engine_backend == "sharded"
     if sharded:
         plan = ShardPlan.for_scenario(scenario, engine_tuning.resolved_shard_count())

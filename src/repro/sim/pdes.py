@@ -27,24 +27,43 @@ exercised deterministically so its costs are measurable (the profile's
 ``engine.sync`` layer) and its accounting testable.
 
 **Process mode** — :func:`run_trial_sharded_processes`, shared-nothing
-workers exchanging *nothing at all*: with this PHY model the conservative
-lookahead between radio-coupled shards collapses (see below), so true
-parallelism is only available between shard **groups** that are radio-
-decoupled for the whole trial.  Groups are the connected components of the
-carrier-sense reachability graph over the initial (static) positions; each
-worker deterministically rebuilds the full network from the scenario seed
-(RNG streams are per-node, and the shared ``traffic`` stream is replayed
+workers.  Two sub-modes share the entry point:
+
+*Group mode* (instantaneous propagation, the exact path): with
+``propagation_delay_s_per_m == 0`` the conservative lookahead between
+radio-coupled shards collapses (see below), so true parallelism is only
+available between shard **groups** that are radio-decoupled for the whole
+trial.  Groups are the connected components of the carrier-sense
+reachability graph over the initial (static) positions; each worker
+deterministically rebuilds the full network from the scenario seed (RNG
+streams are per-node, and the shared ``traffic`` stream is replayed
 identically by every worker — foreign flows are "shadow" flows whose draws
 are consumed but whose packets are never originated) and simulates only its
 own groups' nodes.  Mobile scenarios roam the whole terrain and therefore
-form one group; they fall back to a serial run, reported honestly.
+form one group; they fall back to a serial run, reported honestly.  Group
+mode is *exact*: its ``TrialSummary`` matches the serial engine.
 
-Lookahead derivation (and why coupled shards cannot run ahead)
---------------------------------------------------------------
+*Windowed mode* (finite propagation delay, the concurrent path): when the
+scenario's PHY sets a positive ``propagation_delay_s_per_m`` the lookahead
+is non-degenerate and radio-coupled strips can genuinely advance
+concurrently.  One worker process per strip replays the full deterministic
+network build, mutes receive paths of foreign nodes, restricts traffic
+origination to its strip, and runs window-by-window; at each window
+barrier workers exchange the boundary frames their owned nodes put on the
+air (serialized packet snapshots over pipes) and replay the foreign ones
+locally, each at its original transmit time shifted by exactly one window
+so the originating strip's inter-frame spacing survives the exchange.
+Like ``EngineTuning.mac_model="frozen"``, the windowed mode is a *model*
+(cross-strip frames arrive one window late; fault RNG streams are split
+per shard) validated by the science gate — paper and faults registries —
+not by bit-identity.
+
+Lookahead derivation
+--------------------
 
 The conservative window is ``lookahead = min propagation delay into a
-neighboring shard + the carrier-sense busy horizon granularity``.  This
-PHY (:class:`~repro.sim.phy.PhyConfig`) models propagation as
+neighboring shard + the carrier-sense busy horizon granularity``.  Under
+the default PHY (:class:`~repro.sim.phy.PhyConfig`) propagation is
 instantaneous — a frame put on the air at ``t`` is sensed and received at
 ``t`` anywhere inside the disk — so the propagation term is **zero**, and
 the only lower bound left on cross-shard influence is the MAC's decision
@@ -52,9 +71,20 @@ granularity, one slot time (20 µs).  A 20 µs window is far below the mean
 event spacing, so radio-coupled shards cannot be advanced concurrently
 without violating the repo's bit-identity bar; the threaded mode therefore
 merges deterministically (parallel in structure, serial in time), and the
-process mode extracts real concurrency only across decoupled groups.  The
-window used for barrier accounting is ``max(lookahead, frame_overhead_s)``
-so one window spans at least a frame's fixed overhead.
+process mode extracts exact concurrency only across decoupled groups.
+
+With ``propagation_delay_s_per_m > 0`` the propagation term becomes
+``delay * carrier_sense_range`` — the time a signal needs to sweep the
+whole influence disk of a transmitter at the seam (any receiver closer
+than the carrier-sense radius hears the leading edge sooner, but no MAC
+decision anywhere in the neighbour strip can depend on the frame before
+its own arrival, and the busy window a frame imposes ends no later than
+``end + delay * distance``).  The window used for barrier accounting is
+``max(lookahead, frame_overhead_s)`` so one window spans at least a
+frame's fixed overhead; the *process* windowed mode additionally floors
+the exchange cadence at :data:`PROCESS_WINDOW_FLOOR_S` because a
+microsecond-scale pipe round-trip would drown the concurrency it buys —
+that floor is part of the model the science gate validates.
 """
 
 from __future__ import annotations
@@ -78,6 +108,7 @@ __all__ = [
     "radio_groups",
     "ProcessRunReport",
     "run_trial_sharded_processes",
+    "PROCESS_WINDOW_FLOOR_S",
 ]
 
 NodeId = Hashable
@@ -96,8 +127,10 @@ class ShardPlan:
 
     ``boundaries`` are the K-1 interior seam x-coordinates; ``lookahead``
     and ``window`` carry the conservative-synchronization derivation from
-    the module docstring (propagation delay into a neighbor — zero in this
-    PHY — plus the carrier-sense horizon granularity, one slot).
+    the module docstring (propagation delay across a neighbor's influence
+    disk — zero under the default instantaneous PHY, ``delay * cs_range``
+    under the finite-delay variant — plus the carrier-sense horizon
+    granularity, one slot).
     ``refresh_interval`` is how often mobility can require an ownership
     refresh: a node needs ``strip_width / 4 / max_speed`` seconds to cross
     a quarter strip, so refreshing at that cadence bounds attribution
@@ -120,10 +153,12 @@ class ShardPlan:
         width = float(scenario.terrain_width)
         strip = width / shard_count
         phy = scenario.phy
-        # Propagation is instantaneous in this PHY; the slot time is the
+        # The propagation term is the time a seam transmission needs to
+        # sweep its whole influence disk (delay * carrier-sense radius);
+        # zero under the default instantaneous PHY.  The slot time is the
         # finest granularity at which a neighboring shard's carrier-sense
         # state can influence a MAC decision.
-        propagation_delay = 0.0
+        propagation_delay = phy.propagation_delay_s_per_m * phy.carrier_sense_range
         lookahead = propagation_delay + phy.slot_time_s
         window = max(lookahead, phy.frame_overhead_s)
         max_speed = max(float(scenario.max_speed), 0.0)
@@ -182,7 +217,19 @@ class PdesSync:
             self.executed_by_shard = [0] * self.shard_count
 
     def report(self) -> Dict[str, Any]:
-        """A JSON-safe roll-up (attached to profiles and benchmark records)."""
+        """A JSON-safe roll-up (attached to profiles and benchmark records).
+
+        ``boundary_events`` totals the three seam-crossing counters — the
+        traffic a process-mode execution would ship at barriers — and
+        ``events_per_window`` is the mean window occupancy, the direct
+        measure of how much concurrency a window actually exposes (a
+        single-shard run reports zero windows, so occupancy is zero too
+        rather than a misleading whole-trial figure).
+        """
+        executed = sum(self.executed_by_shard)
+        boundary_events = (
+            self.boundary_receptions + self.boundary_busy_marks + self.boundary_faults
+        )
         return {
             "shard_count": self.shard_count,
             "executed_by_shard": list(self.executed_by_shard),
@@ -191,6 +238,10 @@ class PdesSync:
             "boundary_receptions": self.boundary_receptions,
             "boundary_busy_marks": self.boundary_busy_marks,
             "boundary_faults": self.boundary_faults,
+            "boundary_events": boundary_events,
+            "events_per_window": (
+                round(executed / self.windows, 1) if self.windows else 0.0
+            ),
             "barrier_seconds": round(self.barrier_seconds, 6),
         }
 
@@ -400,6 +451,10 @@ class ShardedSimulator(Simulator):
         executed = self.sync.executed_by_shard
         inv_window = 1.0 / self.plan.window
         window_index = -1
+        # A single shard has no seams: no barrier could exchange anything,
+        # so a K=1 run reports zero windows/barriers instead of a
+        # misleading whole-trial window count.
+        track_windows = self.plan.shard_count > 1
         try:
             while self._running:
                 best: Optional[_Entry] = None
@@ -416,10 +471,11 @@ class ShardedSimulator(Simulator):
                     # Unlike the serial loop there is nothing to push back:
                     # the winner was only peeked, never popped.
                     break
-                w = int(time * inv_window)
-                if w != window_index:
-                    window_index = w
-                    self._window_barrier(time)
+                if track_windows:
+                    w = int(time * inv_window)
+                    if w != window_index:
+                        window_index = w
+                        self._window_barrier(time)
                 pops[best_shard]()
                 payload = best[3]
                 self._current_shard = best_shard
@@ -515,6 +571,17 @@ class ProcessRunReport:
     #: Why the run degenerated to one serial worker, or ``None`` when the
     #: group decomposition actually fanned out.
     fallback_reason: Optional[str] = None
+    #: ``"groups"`` (exact, radio-decoupled fan-out), ``"windowed"``
+    #: (finite-delay barrier exchange) or ``"serial"`` (fallback).
+    mode: str = "groups"
+    #: Windowed-mode accounting: barrier windows executed, boundary frames
+    #: shipped between workers, wall-clock seconds spent blocked at
+    #: barriers (max across workers — the critical path), and total events
+    #: executed across all workers.
+    windows: int = 0
+    boundary_frames: int = 0
+    barrier_seconds: float = 0.0
+    events_processed: int = 0
 
 
 def _group_worker(args) -> TrialStats:
@@ -574,10 +641,12 @@ def _merge_group_stats(parts: Sequence[TrialStats]) -> TrialStats:
     latency lists concatenate in group order.  Group order is canonical but
     differs from the serial interleaving, so ``mean_latency`` can differ
     from the serial value in the last float ulp — the integer counters are
-    exact.  Route-recovery merging is unneeded: faulted multi-group runs
-    are refused (the fault RNG stream is shared across groups).
+    exact.  Resilience counters add the same way (every data packet is
+    attributed to exactly one worker, its destination's owner), and
+    ``route_recovery_time`` is the minimum non-negative per-worker value.
     """
     merged = TrialStats()
+    recovery = -1.0
     for part in parts:
         merged.data_sent += part.data_sent
         merged.data_delivered += part.data_delivered
@@ -586,7 +655,323 @@ def _merge_group_stats(parts: Sequence[TrialStats]) -> TrialStats:
         merged.latencies.extend(part.latencies)
         merged.mac_drops_by_node.update(part.mac_drops_by_node)
         merged.sequence_numbers_by_node.update(part.sequence_numbers_by_node)
+        merged.sent_during_fault += part.sent_during_fault
+        merged.delivered_during_fault += part.delivered_during_fault
+        merged.sent_post_fault += part.sent_post_fault
+        merged.delivered_post_fault += part.delivered_post_fault
+        merged.control_burst_on_heal += part.control_burst_on_heal
+        # Each worker records the earliest post-heal delivery among its
+        # owned destinations; the trial-wide recovery time is the earliest
+        # across workers (workers that saw none report -1).
+        if part.route_recovery_time >= 0.0 and (
+            recovery < 0.0 or part.route_recovery_time < recovery
+        ):
+            recovery = part.route_recovery_time
+    merged.route_recovery_time = recovery
     return merged
+
+
+# -- windowed process mode ------------------------------------------------------------
+
+#: Floor on the windowed mode's exchange cadence (seconds of simulated
+#: time).  The conservative lookahead under a physical propagation delay is
+#: ~1.3 us — a correct causality bound but an absurd IPC cadence.  The
+#: windowed mode is already a *model* (cross-strip frames are injected at
+#: the next barrier, fault streams are split per shard), so the window is a
+#: staleness budget rather than a causality proof: 8 ms keeps the
+#: cross-seam arrival distortion an order of magnitude below every protocol
+#: timescale (HELLO intervals, CBR periods, route timeouts) while
+#: amortising a pipe round-trip over thousands of events.  The science gate
+#: (paper + faults registries) validates the budget.
+PROCESS_WINDOW_FLOOR_S = 0.008
+
+#: Disjoint packet-uid block per windowed worker, so end-to-end duplicate
+#: suppression and latency keys stay globally unique when every worker
+#: originates packets from its own local counter.
+_UID_BLOCK = 1_000_000_000
+
+
+def _pack_frame(frame) -> Tuple:
+    """Snapshot one boundary frame for the pipe (packet fields by value).
+
+    The snapshot is taken at transmit time because the MAC mutates
+    ``packet.hops`` (and pools frames) after the air time; shipping live
+    objects would leak retry-mutated state across the barrier.
+    """
+    packet = frame.packet
+    return (
+        frame.receiver,
+        packet.kind,
+        packet.source,
+        packet.destination,
+        packet.size_bytes,
+        packet.created_at,
+        packet.payload,
+        packet.flow_id,
+        packet.uid,
+        packet.hops,
+    )
+
+
+def _windowed_worker(conn, args) -> None:
+    """One strip of a windowed run: full replica, owned execution, barriers.
+
+    The worker rebuilds the complete deterministic network (identical RNG
+    streams and build order — geometry, mobility and fault flips replicate
+    exactly), then narrows *execution* to its strip: foreign nodes' receive
+    paths are muted at the channel, foreign protocols are never started,
+    and traffic origination is restricted to owned sources.  A transmit tap
+    records every frame an owned node puts on the air; at each window
+    barrier the tap's outbox is shipped to the peers and their boundary
+    frames are replayed locally via ``channel.transmit`` (the foreign
+    transmitter's geometry is present, so carrier-sense and reception
+    ranges are computed exactly — only the replay *time* is shifted, by
+    one window).  Ownership is fixed at the t=0 strip assignment: mobility
+    stays exact because every worker replays the full mobility model, so a
+    roaming owned node keeps transmitting from its true position and
+    foreign frames keep reaching whoever is in range.
+    """
+    (
+        scenario,
+        protocol_name,
+        shard_index,
+        shard_count,
+        static_positions,
+        fast_paths,
+        tuning,
+        window_s,
+    ) = args
+    from ..protocols import protocol_factory  # local: after fork/spawn
+    from .faults import FaultSchedule
+    from .network import build_network
+    from .packet import Frame, Packet, reset_packet_ids
+    from .tuning import EngineTuning
+
+    reset_packet_ids(1 + shard_index * _UID_BLOCK)
+    worker_tuning = EngineTuning(
+        event_queue=tuning.event_queue,
+        mac_model=tuning.mac_model,
+        engine_backend="serial",
+    )
+    network = build_network(
+        scenario,
+        protocol_factory(protocol_name),
+        static_positions=static_positions,
+        fast_paths=fast_paths,
+        tuning=worker_tuning,
+    )
+    plan = ShardPlan.for_scenario(scenario, shard_count)
+    owned = tuple(
+        sorted(
+            node_id
+            for node_id, node in network.nodes.items()
+            if plan.shard_of_x(node.position()[0]) == shard_index
+        )
+    )
+    owned_set = frozenset(owned)
+    channel = network.channel
+    for node_id in network.nodes:
+        if node_id not in owned_set:
+            channel.mute(node_id)
+    if network.traffic is not None:
+        network.traffic.restrict_to(owned_set)
+    faults_state = channel.faults
+    if faults_state is not None:
+        faults_state.reseed(
+            FaultSchedule.split_for_shards(scenario.seed, shard_count)[shard_index]
+        )
+
+    outbox: List[Tuple] = []
+    sequence = 0
+
+    def tap(transmitter, frame, now) -> None:
+        nonlocal sequence
+        if transmitter in owned_set:
+            sequence += 1
+            outbox.append((now, shard_index, sequence, transmitter, _pack_frame(frame)))
+
+    channel.set_transmit_tap(tap)
+
+    for node_id in owned:
+        network.nodes[node_id].protocol.start()
+    if network.traffic is not None:
+        network.traffic.start()
+
+    simulator = network.simulator
+    duration = float(scenario.duration)
+    windows = 0
+    shipped = 0
+    barrier_wait = 0.0
+    t = 0.0
+    while t < duration:
+        t_next = t + window_s
+        if t_next > duration:
+            t_next = duration
+        simulator.run(until=t_next)
+        started = perf_counter()
+        conn.send(outbox)
+        inbox = conn.recv()
+        barrier_wait += perf_counter() - started
+        shipped += len(outbox)
+        windows += 1
+        outbox.clear()
+        if inbox:
+            # (time, shard, sequence) is unique, so the sort is total and
+            # identical at every worker: injections happen in one
+            # deterministic order regardless of pipe arrival order.  Each
+            # foreign frame replays at its original transmit time shifted
+            # by exactly one window — preserving the inter-frame spacing of
+            # the originating strip instead of slamming a whole window's
+            # boundary traffic onto the air at the barrier instant (which
+            # manufactures collision storms no physical channel has).
+            inbox.sort(key=lambda record: record[:3])
+            for sent_at, _, _, foreign_transmitter, snapshot in inbox:
+                packet = Packet(
+                    snapshot[1],
+                    snapshot[2],
+                    snapshot[3],
+                    snapshot[4],
+                    snapshot[5],
+                    snapshot[6],
+                    snapshot[7],
+                    snapshot[8],
+                    snapshot[9],
+                )
+                replay = Frame(packet, foreign_transmitter, snapshot[0])
+                simulator.schedule_at(
+                    sent_at + window_s,
+                    (
+                        lambda tx=foreign_transmitter, fr=replay: channel.transmit(
+                            tx, fr
+                        )
+                    ),
+                    priority=1,
+                )
+        t = t_next
+
+    for node_id in owned:
+        node = network.nodes[node_id]
+        node.protocol.finalize()
+        network.stats.record_mac_drops(node_id, node.mac.stats.drops)
+        network.stats.record_sequence_number(
+            node_id, node.protocol.sequence_number_metric()
+        )
+    conn.send(
+        (
+            network.stats,
+            {
+                "owned": owned,
+                "windows": windows,
+                "boundary_frames": shipped,
+                "barrier_seconds": barrier_wait,
+                "events": simulator.events_processed,
+            },
+        )
+    )
+    conn.close()
+
+
+def _run_windowed_processes(
+    scenario,
+    protocol: str,
+    *,
+    static_positions: bool,
+    fast_paths,
+    tuning,
+    shard_count: int,
+    window_s: Optional[float],
+) -> ProcessRunReport:
+    """Coordinate K strip workers through lock-step window barriers.
+
+    The parent relays each worker's outbox to every peer (star topology:
+    K pipes instead of K^2).  Parent and workers run the *same* float
+    window arithmetic, so they agree exactly on the number of barriers.
+    """
+    import multiprocessing as mp
+
+    plan = ShardPlan.for_scenario(scenario, shard_count)
+    if window_s is None:
+        window_s = max(plan.window, PROCESS_WINDOW_FLOOR_S)
+    if window_s <= 0.0:
+        raise ValueError(f"window must be positive, got {window_s}")
+
+    ctx = mp.get_context()
+    conns = []
+    workers = []
+    for shard_index in range(shard_count):
+        parent_conn, child_conn = ctx.Pipe()
+        worker = ctx.Process(
+            target=_windowed_worker,
+            args=(
+                child_conn,
+                (
+                    scenario,
+                    protocol,
+                    shard_index,
+                    shard_count,
+                    static_positions,
+                    fast_paths,
+                    tuning,
+                    window_s,
+                ),
+            ),
+            daemon=True,
+        )
+        worker.start()
+        child_conn.close()
+        conns.append(parent_conn)
+        workers.append(worker)
+
+    try:
+        duration = float(scenario.duration)
+        t = 0.0
+        try:
+            while t < duration:
+                t_next = t + window_s
+                if t_next > duration:
+                    t_next = duration
+                outboxes = [conn.recv() for conn in conns]
+                for shard_index, conn in enumerate(conns):
+                    conn.send(
+                        [
+                            record
+                            for peer, peer_outbox in enumerate(outboxes)
+                            if peer != shard_index
+                            for record in peer_outbox
+                        ]
+                    )
+                t = t_next
+            results = [conn.recv() for conn in conns]
+        except EOFError:
+            dead = [w.exitcode for w in workers if not w.is_alive()]
+            raise PdesError(
+                f"a windowed worker died mid-run (exit codes of dead "
+                f"workers: {dead}); the trial cannot be merged"
+            ) from None
+    finally:
+        for conn in conns:
+            conn.close()
+        for worker in workers:
+            worker.join(timeout=30)
+            if worker.is_alive():
+                worker.terminate()
+
+    parts = [stats for stats, _ in results]
+    meta = [info for _, info in results]
+    merged = _merge_group_stats(parts)
+    return ProcessRunReport(
+        summary=merged.summary(),
+        # The strip ownership (t=0 assignment) plays the role the radio
+        # groups play in exact mode: who executed whom.
+        groups=tuple(tuple(info["owned"]) for info in meta),
+        workers_used=shard_count,
+        fallback_reason=None,
+        mode="windowed",
+        windows=max(info["windows"] for info in meta),
+        boundary_frames=sum(info["boundary_frames"] for info in meta),
+        barrier_seconds=max(info["barrier_seconds"] for info in meta),
+        events_processed=sum(info["events"] for info in meta),
+    )
 
 
 def run_trial_sharded_processes(
@@ -597,22 +982,45 @@ def run_trial_sharded_processes(
     fast_paths=None,
     tuning=None,
     max_workers: Optional[int] = None,
+    window_s: Optional[float] = None,
 ) -> ProcessRunReport:
     """Run one trial across shared-nothing worker processes.
 
-    Real concurrency exists only between radio-decoupled groups (module
-    docstring: the conservative lookahead between coupled shards collapses
-    to one slot under instantaneous propagation).  Mobile scenarios and
-    single-component worlds fall back to one serial worker — reported, not
-    hidden, in the returned :class:`ProcessRunReport`.  Faulted scenarios
-    with more than one group are refused: the fault layer draws from one
-    shared RNG stream whose draw order interleaves across groups.
+    Under the default instantaneous-propagation PHY, exact concurrency
+    exists only between radio-decoupled groups (module docstring: the
+    conservative lookahead between coupled shards collapses to one slot).
+    Mobile scenarios and single-component worlds fall back to one serial
+    worker — reported, not hidden, in the returned
+    :class:`ProcessRunReport`.  Faulted scenarios whose plan includes a
+    ``loss_burst`` are refused in multi-group mode: loss draws consume one
+    shared RNG stream whose order interleaves across groups (crash,
+    blackout and partition flips are pre-scheduled deterministic events and
+    replicate exactly).
+
+    With ``scenario.phy.propagation_delay_s_per_m > 0`` the run switches to
+    the windowed barrier-exchange mode (module docstring), which supports
+    mobility and arbitrary fault plans and extracts concurrency between
+    radio-*coupled* strips — as a gate-validated model, not bit-identity.
+    ``window_s`` overrides the exchange cadence (default:
+    ``max(plan.window, PROCESS_WINDOW_FLOOR_S)``).
     """
     from ..protocols import protocol_factory  # local import to avoid a cycle
     from .tuning import EngineTuning, FastPaths
 
     fp = FastPaths() if fast_paths is None else fast_paths
     engine_tuning = EngineTuning.from_env() if tuning is None else tuning
+
+    if scenario.phy.propagation_delay_s_per_m > 0.0:
+        shards = max_workers or engine_tuning.resolved_shard_count()
+        return _run_windowed_processes(
+            scenario,
+            protocol,
+            static_positions=static_positions,
+            fast_paths=fp,
+            tuning=engine_tuning,
+            shard_count=max(int(shards), 1),
+            window_s=window_s,
+        )
 
     fallback: Optional[str] = None
     if not static_positions:
@@ -628,13 +1036,16 @@ def run_trial_sharded_processes(
         if len(groups) == 1:
             fallback = "initial positions form a single carrier-sense component"
 
-    if scenario.faults and len(groups) > 1:
+    has_loss_burst = any(spec.kind == "loss_burst" for spec in scenario.faults)
+    if has_loss_burst and len(groups) > 1:
         raise PdesError(
-            "faulted scenarios cannot run in process mode with more than one "
-            "radio group: fault flips and loss-burst draws consume one shared "
-            "RNG stream whose order interleaves across groups. Use the "
-            "threaded sharded backend (engine_backend='sharded'), which is "
-            "bit-identical for faulted trials."
+            "loss-burst fault plans cannot run in exact process mode with "
+            "more than one radio group: loss draws consume one shared RNG "
+            "stream whose order interleaves across groups. Use the threaded "
+            "sharded backend (engine_backend='sharded'), which is "
+            "bit-identical for faulted trials, or the finite-propagation-"
+            "delay windowed mode (propagation_delay_s_per_m > 0), which "
+            "splits the fault stream per shard."
         )
 
     if fallback is not None:
@@ -652,7 +1063,11 @@ def run_trial_sharded_processes(
             ),
         )
         return ProcessRunReport(
-            summary=summary, groups=groups, workers_used=1, fallback_reason=fallback
+            summary=summary,
+            groups=groups,
+            workers_used=1,
+            fallback_reason=fallback,
+            mode="serial",
         )
 
     workers = min(len(groups), max_workers or os.cpu_count() or 1)

@@ -122,7 +122,7 @@ EVENT_QUEUES: Tuple[str, ...] = ("heap", "calendar")
 MAC_MODELS: Tuple[str, ...] = ("poll", "frozen")
 
 #: Recognised engine backends (see :mod:`repro.sim.pdes`).
-ENGINE_BACKENDS: Tuple[str, ...] = ("serial", "sharded")
+ENGINE_BACKENDS: Tuple[str, ...] = ("serial", "sharded", "processes")
 
 #: Environment overrides consulted by :meth:`EngineTuning.from_env` — the
 #: seam the CI ``mac-model-gate`` / ``pdes-smoke`` jobs (and any A/B sweep)
@@ -162,15 +162,22 @@ class EngineTuning:
         gate on every PR via the ``mac-model-gate`` job.
 
     ``engine_backend`` / ``shard_count``
-        ``"serial"`` (default) or ``"sharded"`` — the spatially sharded
-        conservative PDES backend (:mod:`repro.sim.pdes`).  **Exact**: the
-        sharded backend's K-way merge pops the identical globally ordered
-        event sequence for any shard count, so a sharded trial is
-        bit-identical to a serial one (enforced by the shard-invariance
-        matrix in ``tests/sim/test_pdes.py`` and the ``pdes-smoke`` CI
-        job).  ``shard_count=0`` (auto) resolves from the host's cores —
-        at least 2 so "sharded" always means sharded, capped at 4 where
-        the strip decomposition stops paying.
+        ``"serial"`` (default), ``"sharded"`` or ``"processes"``.
+        ``"sharded"`` is the spatially sharded conservative PDES backend
+        (:mod:`repro.sim.pdes`).  **Exact**: the sharded backend's K-way
+        merge pops the identical globally ordered event sequence for any
+        shard count, so a sharded trial is bit-identical to a serial one
+        (enforced by the shard-invariance matrix in
+        ``tests/sim/test_pdes.py`` and the ``pdes-smoke`` CI job).
+        ``"processes"`` runs the trial through
+        :func:`repro.sim.pdes.run_trial_sharded_processes` — exact group
+        fan-out under the default PHY, the windowed barrier-exchange model
+        under a finite propagation delay; it is a *run*-level backend
+        (dispatched where a whole trial is launched, e.g. the sweep
+        executor), not a drop-in simulator, so ``build_network`` rejects
+        it.  ``shard_count=0`` (auto) resolves from the host's cores — at
+        least 2 so "sharded" always means sharded, capped at 4 where the
+        strip decomposition stops paying.
     """
 
     event_queue: str = "calendar"

@@ -86,6 +86,13 @@ class Scenario:
         """The same scenario under a different fault plan."""
         return replace(self, faults=tuple(faults))
 
+    def with_propagation_delay(self, seconds_per_metre: float) -> "Scenario":
+        """The same scenario under the finite-propagation-delay channel."""
+        return replace(
+            self,
+            phy=replace(self.phy, propagation_delay_s_per_m=seconds_per_metre),
+        )
+
     @property
     def offered_load_pps(self) -> float:
         """Aggregate CBR sending rate (packets per second network-wide)."""
@@ -105,6 +112,13 @@ class Scenario:
             value = getattr(self, f.name)
             if f.name == "phy":
                 value = {pf.name: getattr(value, pf.name) for pf in fields(PhyConfig)}
+                # Written only when nonzero: instantaneous-propagation
+                # scenarios keep the exact phy dict (and hence job content
+                # keys) they had before the delay variant existed, while a
+                # finite-delay scenario is a *different* scenario that never
+                # collides with a committed store cell.
+                if not value.get("propagation_delay_s_per_m"):
+                    value.pop("propagation_delay_s_per_m", None)
             elif f.name == "faults":
                 # Written only when a fault plan exists: fault-free scenarios
                 # keep the exact dict (and hence job content keys) they had

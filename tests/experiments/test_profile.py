@@ -306,3 +306,84 @@ class TestBenchTrialRecord:
     def test_smoke_scale_is_a_known_scale(self):
         # The CI job pins --scale smoke; keep the name resolvable.
         assert EvaluationScale.smoke().name == "smoke"
+
+
+class TestBenchScalingRecord:
+    """benchmarks/bench_scaling.py: record keys, update-in-place, corrupt JSON."""
+
+    @pytest.fixture(scope="class")
+    def modules(self):
+        import importlib.util
+        import sys
+        from pathlib import Path
+
+        bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+        sys.path.insert(0, str(bench_dir))
+        try:
+            loaded = {}
+            for name in ("bench_trial_profile", "bench_scaling"):
+                spec = importlib.util.spec_from_file_location(
+                    name, bench_dir / f"{name}.py"
+                )
+                module = importlib.util.module_from_spec(spec)
+                spec.loader.exec_module(module)
+                loaded[name] = module
+            yield loaded["bench_scaling"], loaded["bench_trial_profile"]
+        finally:
+            sys.path.remove(str(bench_dir))
+
+    @staticmethod
+    def _summary():
+        class Summary:
+            delivery_ratio = 0.95
+
+        return Summary()
+
+    def test_process_record_key_and_host_cpus(self, modules):
+        scaling, profile = modules
+        record = scaling._scaling_record(
+            200, 25.0, "SRP", 2, 1.5, 3000, self._summary(), processes=True
+        )
+        assert record["engine_backend"] == "proc"
+        assert profile.record_key(record) == "scaling200+proc2"
+        assert record["host_cpus"] >= 1
+
+    def test_serial_and_sharded_record_keys(self, modules):
+        scaling, profile = modules
+        serial = scaling._scaling_record(
+            200, 25.0, "SRP", 0, 1.5, 3000, self._summary()
+        )
+        sharded = scaling._scaling_record(
+            200, 25.0, "SRP", 4, 1.5, 3000, self._summary()
+        )
+        assert profile.record_key(serial) == "scaling200"
+        assert profile.record_key(sharded) == "scaling200+sharded4"
+        assert "host_cpus" not in serial
+
+    def test_remerging_updates_in_place(self, modules):
+        scaling, profile = modules
+        first = scaling._scaling_record(
+            200, 25.0, "SRP", 2, 2.0, 3000, self._summary(), processes=True
+        )
+        document = profile.merge_into_document(None, first)
+        again = scaling._scaling_record(
+            200, 25.0, "SRP", 2, 1.0, 3500, self._summary(), processes=True
+        )
+        document = profile.merge_into_document(document, again)
+        # One record per key — regenerating a point replaces it, never
+        # appends a duplicate row to the trajectory.
+        assert list(document["records"]) == ["scaling200+proc2"]
+        merged = document["records"]["scaling200+proc2"]
+        assert merged["protocols"]["SRP"]["events"] == 3500
+
+    def test_corrupt_json_fails_loudly(self, modules, tmp_path, capsys):
+        scaling, _ = modules
+        path = tmp_path / "BENCH_5.json"
+        path.write_text("{not json", encoding="utf-8")
+        code = scaling.main(
+            ["--nodes", "24", "--duration", "2.0", "--json", str(path)]
+        )
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+        # The corrupt file was left for the operator, not clobbered.
+        assert path.read_text(encoding="utf-8") == "{not json"

@@ -30,6 +30,7 @@ from repro.sim.pdes import (
     run_trial_sharded_processes,
 )
 from repro.sim.packet import Frame, Packet, PacketKind
+from repro.sim.phy import SPEED_OF_LIGHT_DELAY_S_PER_M
 from repro.sim.space import Position
 from repro.sim.tuning import (
     ENGINE_BACKEND_ENV,
@@ -369,11 +370,32 @@ class TestProcessMode:
         assert report.summary.data_delivered == serial.data_delivered
         assert report.summary.data_sent == serial.data_sent
 
-    def test_faulted_multi_group_is_refused(self):
+    def test_loss_burst_multi_group_is_refused(self):
+        # Only loss-burst faults draw RNG at runtime; any plan containing
+        # one still shares the "faults" stream and cannot split exactly.
+        scenario = sparse_scenario()
+        faulted = scenario.with_faults(fault_preset("blackout-burst", scenario))
+        with pytest.raises(PdesError, match="loss-burst"):
+            run_trial_sharded_processes(faulted, "SRP")
+
+    def test_flip_fault_multi_group_matches_serial(self):
+        # churn-partition is crash/partition flips only — pre-scheduled,
+        # no runtime RNG draws — so the group decomposition stays exact.
         scenario = sparse_scenario()
         faulted = scenario.with_faults(fault_preset("churn-partition", scenario))
-        with pytest.raises(PdesError, match="shared"):
-            run_trial_sharded_processes(faulted, "SRP")
+        report = run_trial_sharded_processes(faulted, "SRP", max_workers=2)
+        assert report.fallback_reason is None
+        assert len(report.groups) >= 2
+        serial = build_network(
+            faulted, protocol_factory("SRP"), static_positions=True
+        ).run()
+        for field in (
+            "data_sent",
+            "data_delivered",
+            "control_transmissions",
+            "route_recovery_time",
+        ):
+            assert getattr(report.summary, field) == getattr(serial, field)
 
     def test_mobile_scenario_falls_back_serially(self):
         scenario = smoke_scenario()
@@ -384,3 +406,69 @@ class TestProcessMode:
         assert report.workers_used == 1
         serial = build_network(scenario, protocol_factory("SRP")).run()
         assert report.summary == serial
+
+
+# -- windowed process mode --------------------------------------------------------
+
+
+def delayed_scenario(*, faulted=False):
+    """The smoke scenario under the speed-of-light channel: nonzero
+    lookahead, so the process mode runs windowed instead of group-exact."""
+    scenario = smoke_scenario(faulted=faulted)
+    return scenario.with_propagation_delay(SPEED_OF_LIGHT_DELAY_S_PER_M)
+
+
+class TestWindowedMode:
+    def test_nonzero_delay_dispatches_windowed(self):
+        report = run_trial_sharded_processes(
+            delayed_scenario(), "SRP", static_positions=False, max_workers=2
+        )
+        assert report.mode == "windowed"
+        assert report.fallback_reason is None
+        assert report.workers_used == 2
+        assert report.windows > 0
+        assert report.boundary_frames >= 0
+        assert report.barrier_seconds >= 0.0
+        assert report.events_processed > 0
+        assert report.summary.data_sent > 0
+
+    def test_windowed_mobile_does_not_fall_back(self):
+        # The group mode refuses mobility; the windowed mode owns strips
+        # geometrically and replays boundary frames, so motion is fine.
+        report = run_trial_sharded_processes(
+            delayed_scenario(), "OLSR", static_positions=False, max_workers=2
+        )
+        assert report.mode == "windowed"
+        assert report.fallback_reason is None
+
+    def test_windowed_is_deterministic(self):
+        runs = [
+            run_trial_sharded_processes(
+                delayed_scenario(), "SRP", static_positions=False, max_workers=2
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].summary == runs[1].summary
+        assert runs[0].windows == runs[1].windows
+        assert runs[0].boundary_frames == runs[1].boundary_frames
+
+    def test_windowed_faulted_runs(self):
+        # Faulted plans are fine windowed: each worker reseeds its own
+        # "faults:shardK" stream (FaultSchedule.split_for_shards).
+        report = run_trial_sharded_processes(
+            delayed_scenario(faulted=True),
+            "SRP",
+            static_positions=False,
+            max_workers=2,
+        )
+        assert report.mode == "windowed"
+        assert report.fallback_reason is None
+        assert report.summary.data_sent > 0
+
+    def test_zero_delay_never_windowed(self):
+        # The delay=0 contract is bit-identity; the windowed path must not
+        # engage without a physical lookahead.
+        report = run_trial_sharded_processes(
+            smoke_scenario(), "SRP", static_positions=False, max_workers=2
+        )
+        assert report.mode != "windowed"

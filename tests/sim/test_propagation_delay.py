@@ -1,0 +1,174 @@
+"""Finite-propagation-delay PHY: the delay=0 identity and arrival ordering.
+
+The delayed channel (``Channel._transmit_delayed``) is a *model variant*,
+not an optimisation: with ``propagation_delay_s_per_m > 0`` each receiver's
+copy of a frame arrives at its own trailing edge ``end + delay * distance``,
+which is what gives the windowed process mode a physical lookahead.  Its
+contract therefore has two halves, both enforced here:
+
+* **delay = 0 is the identity.**  Setting the field to its default value
+  must leave every trial bit-identical to a scenario that never mentions
+  it — summary and event count, all five protocols, clean and faulted,
+  serial and sharded.  The instantaneous fast path must not even be
+  perturbed by the new wiring.
+* **delay > 0 orders arrivals by distance.**  A farther receiver never
+  receives a frame before a nearer one, and each arrival lands exactly at
+  ``airtime + delay * distance`` after the transmit instant.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.paper import EvaluationScale
+from repro.protocols import protocol_factory
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.faults import fault_preset
+from repro.sim.network import build_network
+from repro.sim.packet import Frame, Packet, PacketKind
+from repro.sim.phy import SPEED_OF_LIGHT_DELAY_S_PER_M
+from repro.sim.tuning import EngineTuning
+
+import pytest
+
+PROTOCOLS = ("SRP", "LDR", "AODV", "DSR", "OLSR")
+
+
+def smoke_scenario(*, faulted=False):
+    scenario = EvaluationScale.smoke().scenario
+    if faulted:
+        scenario = scenario.with_faults(fault_preset("churn-partition", scenario))
+    return scenario
+
+
+def run_serial(scenario, protocol, *, backend="serial", shards=0):
+    tuning = (
+        EngineTuning(engine_backend="sharded", shard_count=shards)
+        if backend == "sharded"
+        else EngineTuning()
+    )
+    network = build_network(scenario, protocol_factory(protocol), tuning=tuning)
+    return network.run(), network.simulator.events_processed
+
+
+# -- delay = 0 is the identity ----------------------------------------------------
+
+
+class TestDelayZeroIdentity:
+    @pytest.mark.parametrize("faulted", (False, True), ids=("clean", "faulted"))
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_explicit_zero_matches_default(self, protocol, faulted):
+        scenario = smoke_scenario(faulted=faulted)
+        baseline = run_serial(scenario, protocol)
+        explicit = run_serial(scenario.with_propagation_delay(0.0), protocol)
+        assert explicit == baseline
+
+    @pytest.mark.parametrize("shards", (1, 2, 4))
+    def test_sharded_zero_delay_matches_serial(self, shards):
+        scenario = smoke_scenario().with_propagation_delay(0.0)
+        baseline = run_serial(scenario, "SRP")
+        sharded = run_serial(scenario, "SRP", backend="sharded", shards=shards)
+        assert sharded == baseline
+
+    def test_zero_delay_keeps_content_key(self):
+        scenario = smoke_scenario()
+        assert scenario.with_propagation_delay(0.0).to_dict() == scenario.to_dict()
+
+    def test_nonzero_delay_changes_content_key(self):
+        scenario = smoke_scenario()
+        delayed = scenario.with_propagation_delay(SPEED_OF_LIGHT_DELAY_S_PER_M)
+        assert delayed.to_dict() != scenario.to_dict()
+
+
+# -- delay > 0 orders arrivals by distance ----------------------------------------
+
+
+class _Stub:
+    """A bare radio listener pinned at ``(x, 50.0)`` recording arrivals."""
+
+    def __init__(self, node_id, x, log):
+        self.node_id = node_id
+        self._x = x
+        self._log = log
+        self._clock = None
+
+    def bind_clock(self, simulator):
+        self._clock = simulator
+
+    def position(self):
+        return (self._x, 50.0)
+
+    def is_transmitting(self):
+        return False
+
+    def radio_receive(self, frame, transmitter):
+        self._log.append((self._clock.now, self.node_id))
+
+
+def _delayed_channel(delay, xs):
+    """A serial channel at ``delay`` s/m with one stub per x in ``xs``."""
+    phy = dataclasses.replace(
+        EvaluationScale.smoke().scenario.phy, propagation_delay_s_per_m=delay
+    )
+    simulator = Simulator()
+    channel = Channel(simulator, phy, max_node_speed=0.0)
+    log = []
+    for node_id, x in xs.items():
+        stub = _Stub(node_id, x, log)
+        stub.bind_clock(simulator)
+        channel.attach(stub)
+    return simulator, channel, log
+
+
+def _broadcast(simulator, channel, transmitter="tx"):
+    packet = Packet(
+        kind=PacketKind.DATA,
+        source=transmitter,
+        destination="r1",
+        size_bytes=256,
+        created_at=0.0,
+    )
+    airtime = channel.transmit(transmitter, Frame(packet, transmitter, None))
+    simulator.run()
+    return airtime
+
+
+class TestArrivalOrdering:
+    DELAY = 1e-6  # exaggerated (300x light) so arrival gaps dominate ulps
+
+    def test_farther_receiver_never_first(self):
+        xs = {"tx": 0.0, "near": 50.0, "mid": 120.0, "far": 200.0}
+        simulator, channel, log = _delayed_channel(self.DELAY, xs)
+        airtime = _broadcast(simulator, channel)
+        assert [node for _, node in log] == ["near", "mid", "far"]
+        for when, node in log:
+            assert when == pytest.approx(airtime + self.DELAY * xs[node])
+
+    def test_zero_delay_arrivals_coincide(self):
+        xs = {"tx": 0.0, "near": 50.0, "far": 200.0}
+        simulator, channel, log = _delayed_channel(0.0, xs)
+        airtime = _broadcast(simulator, channel)
+        assert len(log) == 2
+        for when, _ in log:
+            assert when == pytest.approx(airtime)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=240.0),
+            min_size=2,
+            max_size=6,
+            unique=True,
+        )
+    )
+    def test_arrival_order_tracks_distance(self, distances):
+        xs = {"tx": 0.0}
+        xs.update({f"r{i}": x for i, x in enumerate(sorted(distances))})
+        simulator, channel, log = _delayed_channel(self.DELAY, xs)
+        _broadcast(simulator, channel)
+        assert len(log) == len(distances)
+        arrived = [node for _, node in log]
+        assert arrived == sorted(arrived, key=lambda node: xs[node])
+        times = [when for when, _ in log]
+        assert times == sorted(times)
